@@ -1,0 +1,13 @@
+"""Shared, cached experiment runs so Fig. 4a/4b benches reuse one sweep."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.analysis.fig4 import Fig4Result, run_fig4
+
+
+@lru_cache(maxsize=1)
+def fig4_result() -> Fig4Result:
+    """The calibrated Fig. 4 sweep (seed 42, defaults from the driver)."""
+    return run_fig4()

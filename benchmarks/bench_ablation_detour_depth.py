@@ -1,0 +1,54 @@
+"""Ablation — detour depth 0 / 1 / 2 (DESIGN.md decision 1).
+
+Depth 0 disables detouring (INRP degenerates to SP-with-push), depth 1
+is the literal "one-hop detours", depth 2 adds the extra hop on the
+detour path.  Throughput should be non-decreasing in depth, with the
+step 0 -> 1 the largest on triangle-rich maps (Telstra).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ascii_table
+from repro.flowsim.snapshots import snapshot_experiment
+from repro.flowsim.strategies import make_strategy
+from repro.rng import derive_seed
+from repro.topology.isp import build_isp_topology
+from repro.units import mbps
+from repro.workloads.traffic import local_pairs
+
+from conftest import register_report
+
+
+def _run():
+    topo = build_isp_topology("telstra", seed=0)
+    num_flows = max(10, topo.num_nodes // 12)
+    sampler_seed = derive_seed(42, "ablation-depth")
+    throughput = {}
+    for depth in (0, 1, 2):
+        strategy = make_strategy("inrp", topo, detour_depth=depth)
+        snapshot = snapshot_experiment(
+            topo,
+            strategy,
+            num_flows=num_flows,
+            demand_bps=mbps(10),
+            num_snapshots=6,
+            seed=42,
+            pair_sampler=local_pairs(topo, sampler_seed),
+        )
+        throughput[depth] = snapshot.mean_throughput
+    return throughput
+
+
+def test_bench_ablation_detour_depth(benchmark):
+    throughput = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [
+        [str(depth), f"{value:.3f}", f"{value / throughput[0] - 1:+.2%}"]
+        for depth, value in sorted(throughput.items())
+    ]
+    register_report(
+        "Ablation: detour depth (Telstra)",
+        ascii_table(["depth", "throughput", "gain vs depth 0"], rows),
+    )
+    assert throughput[1] >= throughput[0] - 0.01
+    assert throughput[2] >= throughput[1] - 0.01
+    assert throughput[2] > throughput[0] * 1.05  # detouring must pay

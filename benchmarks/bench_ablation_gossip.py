@@ -1,0 +1,37 @@
+"""Ablation — neighbour-state gossip on/off (DESIGN.md decision 4).
+
+Section 3.3 of the paper discusses two detour policies: (i) periodic
+one-hop utilisation exchange (informed) and (ii) blind further
+detouring (optimistic).  The bench runs concurrent chunk-level
+transfers over an ISP map with both policies and reports the aggregate
+goodput; informed detouring must never do materially worse.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ablations import ablate_gossip
+from repro.analysis.reporting import ascii_table
+
+from conftest import register_report
+
+
+def _run():
+    return ablate_gossip(isp="vsnl", duration=10.0, num_flows=4, seed=11)
+
+
+def test_bench_ablation_gossip(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [
+        [
+            "informed (gossip on)" if gossip else "optimistic (gossip off)",
+            f"{value / 1e6:.3f}",
+        ]
+        for gossip, value in sorted(results.items(), reverse=True)
+    ]
+    register_report(
+        "Ablation: neighbour-state gossip (VSNL, 4 flows)",
+        ascii_table(["detour policy", "aggregate goodput Mbps"], rows),
+    )
+    assert results[True] > 0 and results[False] > 0
+    # Informed detouring is never materially worse than optimistic.
+    assert results[True] >= results[False] * 0.9

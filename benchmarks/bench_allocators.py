@@ -1,0 +1,49 @@
+"""Micro-benchmarks of the fluid allocators (library performance).
+
+These are true pytest-benchmark timing runs (many iterations): the
+max-min progressive filler and the INRP detour-switching filler on a
+mid-size ISP map with a realistic flow population.
+"""
+
+from __future__ import annotations
+
+from repro.flowsim.allocation import max_min_allocation
+from repro.flowsim.multipath import inrp_allocation
+from repro.flowsim.strategies import make_strategy
+from repro.routing.detour import DetourTable
+from repro.routing.paths import path_links
+from repro.topology.isp import build_isp_topology
+from repro.units import mbps
+from repro.workloads.traffic import local_pairs
+
+
+def _instance():
+    topo = build_isp_topology("exodus", seed=0)
+    sampler = local_pairs(topo, seed=7)
+    strategy = make_strategy("sp", topo)
+    flow_paths = {}
+    fid = 0
+    while len(flow_paths) < 60:
+        src, dst = sampler()
+        flow_paths[fid] = strategy.route(fid, src, dst)
+        fid += 1
+    demands = {fid: mbps(10) for fid in flow_paths}
+    return topo, flow_paths, demands
+
+
+def test_bench_max_min_allocation(benchmark):
+    topo, flow_paths, demands = _instance()
+    capacities = topo.link_capacities()
+    flow_links = {fid: path_links(path) for fid, path in flow_paths.items()}
+    rates = benchmark(max_min_allocation, capacities, flow_links, demands)
+    assert all(rate >= 0 for rate in rates.values())
+
+
+def test_bench_inrp_allocation(benchmark):
+    topo, flow_paths, demands = _instance()
+    capacities = topo.link_capacities()
+    table = DetourTable(topo, max_intermediate=2)
+    result = benchmark(
+        inrp_allocation, capacities, flow_paths, demands, table
+    )
+    assert all(rate >= 0 for rate in result.rates.values())

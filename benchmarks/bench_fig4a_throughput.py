@@ -1,0 +1,29 @@
+"""Fig. 4a — network throughput of SP / ECMP / INRP on three ISPs.
+
+Paper: "INRP achieves between 9-15% extra bandwidth utilisation,
+compared to SP.  ECMP also performs better than SP."  The bench
+regenerates the bar chart and gates on the INRP-over-SP band.
+"""
+
+from __future__ import annotations
+
+from _shared import fig4_result
+from conftest import register_report
+
+
+def test_bench_fig4a(benchmark):
+    result = benchmark.pedantic(fig4_result, rounds=1, iterations=1)
+    register_report("Fig. 4a: network throughput", result.render_fig4a())
+    register_report("Fig. 4a: INRP gain over SP", result.comparisons().render())
+    for isp in result.throughput:
+        gain = result.gain_over_sp(isp)
+        # Shape gate: INRP clearly ahead of SP on every topology, in a
+        # band bracketing the paper's 9-15% (substitution S1/S2 slack).
+        assert 0.05 <= gain <= 0.25, f"{isp}: INRP gain {gain:.3f} out of band"
+        # ECMP must not collapse below SP (equal-cost sets are thin on
+        # the synthetic maps, so parity with SP is the expected floor).
+        ecmp_gain = result.gain_over_sp(isp, "ecmp")
+        assert ecmp_gain >= -0.05
+        # INRP is the best strategy on every topology.
+        row = result.throughput[isp]
+        assert row["inrp"] >= row["ecmp"] and row["inrp"] >= row["sp"]

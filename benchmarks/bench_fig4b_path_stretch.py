@@ -1,0 +1,24 @@
+"""Fig. 4b — CDF of INRP path stretch on Exodus / Telstra / Tiscali.
+
+Paper: detouring comes "with minimal path stretch" — the CDF starts
+above ~0.5 at stretch 1.0 and tops out around 1.35.  We gate on the
+same shape: most traffic unstretched, a thin bounded tail.
+"""
+
+from __future__ import annotations
+
+from _shared import fig4_result
+from conftest import register_report
+
+
+def test_bench_fig4b(benchmark):
+    result = benchmark.pedantic(fig4_result, rounds=1, iterations=1)
+    register_report("Fig. 4b: INRP path stretch CDF", result.render_fig4b())
+    for isp, snapshot in result.inrp_results.items():
+        cdf = snapshot.stretch_cdf()
+        # Most traffic takes the shortest path (paper: >= ~50-65%).
+        assert cdf(1.0) >= 0.5, f"{isp}: only {cdf(1.0):.2f} of bits unstretched"
+        # The stretch tail is thin and bounded (paper max ~1.35; our
+        # depth-2 detours on short paths allow a slightly longer tail).
+        assert cdf.quantile(0.95) <= 1.5, f"{isp}: p95 stretch too large"
+        assert cdf.max <= 2.0, f"{isp}: max stretch {cdf.max:.2f}"

@@ -1,0 +1,26 @@
+"""Benchmark session support: collect and print reproduction reports.
+
+Every bench registers its rendered paper-vs-measured tables here; the
+``pytest_terminal_summary`` hook prints them after the benchmark
+timing table, so ``pytest benchmarks/ --benchmark-only`` shows both
+the performance numbers and the reproduction deltas.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_REPORTS: List[str] = []
+
+
+def register_report(title: str, body: str) -> None:
+    """Store a rendered report for the end-of-session summary."""
+    _REPORTS.append(f"\n=== {title} ===\n{body}")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper reproduction reports")
+    for report in _REPORTS:
+        terminalreporter.write_line(report)

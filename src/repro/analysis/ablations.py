@@ -1,0 +1,139 @@
+"""Ablation drivers for the design decisions listed in DESIGN.md.
+
+Each driver is a plain function returning a small result mapping, so
+benches, notebooks and the CLI can share them:
+
+- :func:`ablate_detour_depth` — detour depth 0/1/2 on an ISP map
+  (DESIGN.md decision 1);
+- :func:`ablate_custody_size` — custody store sweep on a detour-free
+  bottleneck (decision 2);
+- :func:`ablate_anticipation` — anticipation horizon Ac on the Fig. 3
+  scenario (decision 3);
+- :func:`ablate_gossip` — informed vs optimistic detouring
+  (decision 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.analysis.fig3 import run_fig3_simulation
+from repro.chunksim import ChunkNetwork, ChunkSimConfig
+from repro.flowsim.snapshots import snapshot_experiment
+from repro.flowsim.strategies import make_strategy
+from repro.rng import derive_seed
+from repro.topology.graph import Topology
+from repro.topology.isp import build_isp_topology
+from repro.units import mbps
+from repro.workloads.traffic import local_pairs
+
+
+def ablate_detour_depth(
+    isp: str = "telstra",
+    depths: Sequence[int] = (0, 1, 2),
+    seed: int = 42,
+    num_snapshots: int = 6,
+) -> Dict[int, float]:
+    """Mean network throughput of INRP per detour depth."""
+    topo = build_isp_topology(isp, seed=0)
+    num_flows = max(10, topo.num_nodes // 12)
+    sampler_seed = derive_seed(seed, f"ablation-depth-{isp}")
+    throughput: Dict[int, float] = {}
+    for depth in depths:
+        strategy = make_strategy("inrp", topo, detour_depth=depth)
+        snapshot = snapshot_experiment(
+            topo,
+            strategy,
+            num_flows=num_flows,
+            demand_bps=mbps(10),
+            num_snapshots=num_snapshots,
+            seed=seed,
+            pair_sampler=local_pairs(topo, sampler_seed),
+        )
+        throughput[depth] = snapshot.mean_throughput
+    return throughput
+
+
+@dataclass(frozen=True)
+class CustodyAblationPoint:
+    goodput_mbps: float
+    peak_custody_bytes: int
+    backpressure_signals: int
+    drops: int
+
+
+def _bottleneck_line() -> Topology:
+    topo = Topology("custody-ablation")
+    topo.add_link(0, 1, capacity=mbps(10))
+    topo.add_link(1, 2, capacity=mbps(2))
+    return topo
+
+
+def ablate_custody_size(
+    sizes: Sequence[Tuple[str, Optional[int]]] = (
+        ("40kB", 40_000),
+        ("200kB", 200_000),
+        ("2MB", 2_000_000),
+        ("unbounded", None),
+    ),
+    duration: float = 15.0,
+) -> Dict[str, CustodyAblationPoint]:
+    """Custody sweep on a 10 -> 2 Mbps detour-free bottleneck."""
+    results: Dict[str, CustodyAblationPoint] = {}
+    for label, custody_bytes in sizes:
+        config = ChunkSimConfig(custody_bytes=custody_bytes)
+        net = ChunkNetwork(_bottleneck_line(), mode="inrpp", config=config)
+        flow = net.add_flow(0, 2, num_chunks=10_000_000)
+        report = net.run(duration=duration, warmup=duration / 3)
+        results[label] = CustodyAblationPoint(
+            goodput_mbps=report.flow(flow).goodput_bps / 1e6,
+            peak_custody_bytes=report.custody_peak_bytes,
+            backpressure_signals=report.backpressure_signals,
+            drops=report.drops,
+        )
+    return results
+
+
+def ablate_anticipation(
+    horizons: Sequence[int] = (0, 2, 8, 32),
+    duration: float = 15.0,
+) -> Dict[int, Tuple[float, float, float]]:
+    """Fig. 3 INRPP goodputs ``(flow1, flow2, jain)`` per ``Ac``."""
+    results: Dict[int, Tuple[float, float, float]] = {}
+    for anticipation in horizons:
+        config = ChunkSimConfig(anticipation=anticipation)
+        outcome, _ = run_fig3_simulation("inrpp", duration=duration, config=config)
+        results[anticipation] = (
+            outcome.rate_bottlenecked_mbps,
+            outcome.rate_clear_mbps,
+            outcome.jain,
+        )
+    return results
+
+
+def ablate_gossip(
+    isp: str = "vsnl",
+    duration: float = 10.0,
+    num_flows: int = 4,
+    seed: int = 11,
+) -> Dict[bool, float]:
+    """Aggregate chunk-level goodput with and without neighbour state.
+
+    Runs several concurrent transfers between core nodes of a (small)
+    ISP map; without gossip the detour choice is optimistic, so
+    detoured chunks may pile into already-congested neighbours.
+    """
+    topo = build_isp_topology(isp, seed=0)
+    sampler = local_pairs(topo, seed=seed)
+    pairs = [sampler() for _ in range(num_flows)]
+    results: Dict[bool, float] = {}
+    for gossip in (True, False):
+        config = ChunkSimConfig(gossip=gossip)
+        net = ChunkNetwork(topo, mode="inrpp", config=config)
+        flows = [
+            net.add_flow(src, dst, num_chunks=10_000_000) for src, dst in pairs
+        ]
+        report = net.run(duration=duration, warmup=duration / 3)
+        results[gossip] = sum(report.flow(f).goodput_bps for f in flows)
+    return results

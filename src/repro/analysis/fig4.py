@@ -1,0 +1,127 @@
+"""Fig. 4 — flow-level evaluation on the ISP topologies.
+
+Fig. 4a compares network throughput of SP, ECMP and INRP ("URP" in the
+paper's legend) on Telstra, Exodus and Tiscali with Poisson-arriving
+flows; the paper reports INRP gaining 9–15 % over SP with ECMP in
+between.  Fig. 4b shows the CDF of INRP's path stretch: most traffic
+takes the shortest path and the tail stays below ~1.35.
+
+The driver evaluates steady-state snapshots of the stationary flow
+population (see :mod:`repro.flowsim.snapshots`), with locality-weighted
+core-to-core demands — the intra-domain traffic-engineering picture the
+paper's detour mechanism targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.records import ComparisonTable
+from repro.analysis.reporting import ascii_bar_chart, ascii_cdf
+from repro.flowsim.snapshots import SnapshotResult, snapshot_experiment
+from repro.flowsim.strategies import make_strategy
+from repro.rng import derive_seed
+from repro.topology.isp import build_isp_topology
+from repro.units import mbps
+from repro.workloads.traffic import local_pairs
+
+#: The paper's headline claim for Fig. 4a.
+PAPER_MIN_GAIN = 0.09
+PAPER_MAX_GAIN = 0.15
+
+#: Topologies shown in Fig. 4.
+FIG4_ISPS = ("telstra", "exodus", "tiscali")
+
+#: Strategies in Fig. 4a's legend order.
+FIG4_STRATEGIES = ("sp", "ecmp", "inrp")
+
+
+@dataclass
+class Fig4Result:
+    """Per-topology throughputs and INRP stretch samples."""
+
+    #: topology -> strategy -> mean network throughput.
+    throughput: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: topology -> raw snapshot results of the INRP run (for Fig. 4b).
+    inrp_results: Dict[str, SnapshotResult] = field(default_factory=dict)
+
+    def gain_over_sp(self, isp: str, strategy: str = "inrp") -> float:
+        """Relative throughput gain of *strategy* over SP."""
+        row = self.throughput[isp]
+        return row[strategy] / row["sp"] - 1.0
+
+    def comparisons(self) -> ComparisonTable:
+        table = ComparisonTable("fig4a: INRP throughput gain over SP")
+        for isp in self.throughput:
+            table.add(
+                f"{isp} INRP/SP gain",
+                (PAPER_MIN_GAIN + PAPER_MAX_GAIN) / 2,
+                self.gain_over_sp(isp),
+                note=f"paper band [{PAPER_MIN_GAIN}, {PAPER_MAX_GAIN}]",
+            )
+        return table
+
+    def render_fig4a(self) -> str:
+        series = {
+            isp: {name.upper(): value for name, value in row.items()}
+            for isp, row in self.throughput.items()
+        }
+        return ascii_bar_chart(
+            series, title="Fig. 4a: network throughput (SP / ECMP / INRP)"
+        )
+
+    def render_fig4b(self, points: int = 10) -> str:
+        curves = {}
+        for isp, result in self.inrp_results.items():
+            xs, ps = result.stretch_cdf().points()
+            curves[isp] = (xs, ps)
+        return ascii_cdf(
+            curves, points=points, title="Fig. 4b: INRP path stretch CDF"
+        )
+
+
+def run_fig4(
+    isps: Sequence[str] = FIG4_ISPS,
+    strategies: Sequence[str] = FIG4_STRATEGIES,
+    seed: int = 42,
+    num_snapshots: int = 8,
+    demand_bps: float = mbps(10),
+    flows_per_node: float = 1.0 / 12.0,
+    max_hops: int = 5,
+    detour_depth: int = 2,
+) -> Fig4Result:
+    """Run the Fig. 4 experiment suite.
+
+    Parameters
+    ----------
+    flows_per_node:
+        Concurrent-flow population as a fraction of the topology's
+        node count (default: 1 flow per 12 nodes, the calibrated
+        operating point where SP utilisation sits in the paper's
+        0.6–0.8 range).
+    max_hops:
+        Locality radius of the demand model (core-to-core pairs).
+    """
+    result = Fig4Result()
+    for isp in isps:
+        topo = build_isp_topology(isp, seed=0)
+        num_flows = max(10, int(topo.num_nodes * flows_per_node))
+        sampler_seed = derive_seed(seed, f"fig4-{isp}")
+        result.throughput[isp] = {}
+        for name in strategies:
+            kwargs = {"detour_depth": detour_depth} if name == "inrp" else {}
+            strategy = make_strategy(name, topo, **kwargs)
+            snapshot = snapshot_experiment(
+                topo,
+                strategy,
+                num_flows=num_flows,
+                demand_bps=demand_bps,
+                num_snapshots=num_snapshots,
+                seed=seed,
+                pair_sampler=local_pairs(topo, sampler_seed, max_hops=max_hops),
+            )
+            result.throughput[isp][name] = snapshot.mean_throughput
+            if name == "inrp":
+                result.inrp_results[isp] = snapshot
+    return result

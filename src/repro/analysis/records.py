@@ -1,0 +1,86 @@
+"""Paper-vs-measured comparison records.
+
+Every experiment driver returns its numbers alongside the paper's, so
+benches and EXPERIMENTS.md can show the reproduction deltas directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured data point."""
+
+    experiment: str
+    series: str
+    paper_value: Optional[float]
+    measured_value: float
+    unit: str = ""
+    note: str = ""
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.paper_value is None:
+            return None
+        return self.measured_value - self.paper_value
+
+    @property
+    def relative_error(self) -> Optional[float]:
+        if self.paper_value in (None, 0):
+            return None
+        return (self.measured_value - self.paper_value) / abs(self.paper_value)
+
+    def row(self) -> List[str]:
+        paper = "-" if self.paper_value is None else f"{self.paper_value:.3f}"
+        delta = "-" if self.delta is None else f"{self.delta:+.3f}"
+        return [
+            self.series,
+            paper,
+            f"{self.measured_value:.3f}",
+            delta,
+            self.unit,
+            self.note,
+        ]
+
+
+@dataclass
+class ComparisonTable:
+    """A group of comparisons for one experiment."""
+
+    experiment: str
+    comparisons: List[Comparison] = field(default_factory=list)
+
+    def add(
+        self,
+        series: str,
+        paper_value: Optional[float],
+        measured_value: float,
+        unit: str = "",
+        note: str = "",
+    ) -> Comparison:
+        comparison = Comparison(
+            self.experiment, series, paper_value, measured_value, unit, note
+        )
+        self.comparisons.append(comparison)
+        return comparison
+
+    def render(self) -> str:
+        from repro.analysis.reporting import ascii_table
+
+        rows = [comparison.row() for comparison in self.comparisons]
+        return ascii_table(
+            ["series", "paper", "measured", "delta", "unit", "note"],
+            rows,
+            title=self.experiment,
+        )
+
+    def max_relative_error(self) -> float:
+        errors = [
+            abs(comparison.relative_error)
+            for comparison in self.comparisons
+            if comparison.relative_error is not None
+        ]
+        return max(errors) if errors else 0.0

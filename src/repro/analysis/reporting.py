@@ -1,0 +1,104 @@
+"""Terminal rendering: tables, bar charts and CDF plots in ASCII.
+
+matplotlib is not available offline, so the benches render the paper's
+figures as text: Fig. 4a becomes a horizontal bar chart, Fig. 4b a
+down-sampled CDF plot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width table with a header rule."""
+    if not headers:
+        raise AnalysisError("a table needs headers")
+    table = [list(map(str, headers))] + [list(map(str, row)) for row in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(table[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table[1:]:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    series: Dict[str, Dict[str, float]],
+    width: int = 40,
+    unit: str = "",
+    title: Optional[str] = None,
+) -> str:
+    """Grouped horizontal bars: ``{group: {label: value}}``.
+
+    This renders the paper's Fig. 4a: groups are topologies, labels
+    are the SP/ECMP/INRP strategies.
+    """
+    if not series:
+        raise AnalysisError("no data to chart")
+    peak = max(
+        value for group in series.values() for value in group.values()
+    )
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(
+        len(label) for group in series.values() for label in group
+    )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for group_name, group in series.items():
+        lines.append(f"{group_name}:")
+        for label, value in group.items():
+            bar = "#" * max(1, int(round(width * value / peak)))
+            lines.append(
+                f"  {label.ljust(label_width)} |{bar.ljust(width)}| "
+                f"{value:.3f}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    curves: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    points: int = 12,
+    title: Optional[str] = None,
+) -> str:
+    """Tabulated CDF curves: ``{name: (xs, ps)}`` -> sampled table.
+
+    Renders the paper's Fig. 4b: each curve is sampled at evenly
+    spaced x values between the global min and max.
+    """
+    if not curves:
+        raise AnalysisError("no curves to plot")
+    lo = min(min(xs) for xs, _ in curves.values())
+    hi = max(max(xs) for xs, _ in curves.values())
+    if hi <= lo:
+        hi = lo + 1.0
+    grid = [lo + (hi - lo) * i / (points - 1) for i in range(points)]
+
+    def _eval(xs: Sequence[float], ps: Sequence[float], x: float) -> float:
+        best = 0.0
+        for xi, pi in zip(xs, ps):
+            if xi <= x + 1e-12:
+                best = pi
+            else:
+                break
+        return best
+
+    headers = ["x"] + list(curves)
+    rows = []
+    for x in grid:
+        row = [f"{x:.3f}"]
+        for name, (xs, ps) in curves.items():
+            row.append(f"{_eval(xs, ps, x):.3f}")
+        rows.append(row)
+    return ascii_table(headers, rows, title=title)

@@ -1,0 +1,6 @@
+"""Caching substrate: LRU content store and INRPP custody store."""
+
+from repro.cache.lru import LruCache
+from repro.cache.custody import CustodyStore, custody_duration
+
+__all__ = ["LruCache", "CustodyStore", "custody_duration"]

@@ -1,0 +1,89 @@
+"""Byte-budgeted LRU content store.
+
+Conventional ICN routers keep the *most popular* content in an LRU
+store; the paper contrasts this role with custody caching.  The LRU
+store is still part of the substrate: routers answer requests from it
+before forwarding upstream.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable, Optional
+
+from repro.errors import CacheError
+
+Key = Hashable
+EvictCallback = Callable[[Key, int], None]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LruCache:
+    """LRU cache with a byte budget (not an entry-count budget)."""
+
+    def __init__(self, capacity_bytes: int, on_evict: Optional[EvictCallback] = None):
+        if capacity_bytes < 0:
+            raise CacheError(f"capacity must be >= 0, got {capacity_bytes}")
+        self.capacity_bytes = int(capacity_bytes)
+        self._entries: "OrderedDict[Key, int]" = OrderedDict()
+        self._used = 0
+        self._on_evict = on_evict
+        self.stats = CacheStats()
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._entries
+
+    def get(self, key: Key) -> bool:
+        """Look up *key*; refreshes recency and records hit/miss."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def put(self, key: Key, size_bytes: int) -> None:
+        """Insert (or refresh) *key* of *size_bytes*, evicting LRU items.
+
+        Objects larger than the whole cache are rejected silently (they
+        simply do not get cached), matching router content stores.
+        """
+        if size_bytes < 0:
+            raise CacheError(f"size must be >= 0, got {size_bytes}")
+        if key in self._entries:
+            self._used -= self._entries.pop(key)
+        if size_bytes > self.capacity_bytes:
+            return
+        self._entries[key] = size_bytes
+        self._used += size_bytes
+        self.stats.insertions += 1
+        while self._used > self.capacity_bytes:
+            old_key, old_size = self._entries.popitem(last=False)
+            self._used -= old_size
+            self.stats.evictions += 1
+            if self._on_evict is not None:
+                self._on_evict(old_key, old_size)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used = 0

@@ -1,0 +1,37 @@
+"""Chunk-level discrete-event simulation of the INRPP protocol.
+
+This package implements the protocol machinery of Section 3 of the
+paper at chunk granularity:
+
+- receivers request named chunks with ``⟨Nc, ACKc, Ac⟩`` and adapt
+  their request rate to the incoming data rate;
+- senders *push* data open loop up to the anticipation horizon,
+  processor-sharing their access link among flows, and fall back to a
+  closed 1:1 request/data loop when back-pressured;
+- routers estimate the anticipated rate of every outgoing interface
+  from the requests they forward upstream (Eq. 1), and move each
+  interface between the push-data, detour and back-pressure phases;
+- congested interfaces first *detour* chunks through alternative
+  sub-paths (tunnelled via spoofed next hops), then take chunks into
+  *custody* and signal the one-hop upstream neighbour to slow down;
+- an AIMD baseline (drop-tail queues, e2e window halving on loss)
+  reproduces the e2e flow-control side of Fig. 3.
+"""
+
+from repro.chunksim.config import ChunkSimConfig
+from repro.chunksim.engine import Simulator
+from repro.chunksim.messages import Backpressure, DataChunk, Request
+from repro.chunksim.link import SimLink
+from repro.chunksim.network import ChunkNetwork, FlowReport, NetworkReport
+
+__all__ = [
+    "ChunkSimConfig",
+    "Simulator",
+    "Request",
+    "DataChunk",
+    "Backpressure",
+    "SimLink",
+    "ChunkNetwork",
+    "FlowReport",
+    "NetworkReport",
+]

@@ -1,0 +1,175 @@
+"""AIMD baseline end-points (the e2e flow control of Fig. 3, left).
+
+The receiver keeps a window ``W`` of outstanding requests, grows it by
+``1/W`` per delivered chunk (additive increase of one request per
+round) and halves it when a request times out — the textbook
+receiver-driven AIMD interest control.  Routers run drop-tail FIFO
+queues, so congestion manifests as data loss exactly like TCP over IP.
+
+On the Fig. 3 topology two such flows converge to ≈(2, 8) Mbps: each
+flow tracks the slowest link of *its own* path, which is the behaviour
+the paper's INRPP replaces.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.chunksim.config import ChunkSimConfig
+from repro.chunksim.engine import Event
+from repro.chunksim.messages import Backpressure, DataChunk, Request
+from repro.chunksim.router import Router
+from repro.errors import SimulationError
+
+
+@dataclass
+class AimdFlow:
+    flow_id: int
+    sender: object
+    total_chunks: int
+    window: float = 2.0
+    next_new: int = 0
+    received: Set[int] = field(default_factory=set)
+    outstanding: Dict[int, Event] = field(default_factory=dict)
+    retransmit: Deque[int] = field(default_factory=deque)
+    completion_time: Optional[float] = None
+    arrivals: List[Tuple[float, int]] = field(default_factory=list)
+    hops_total: int = 0
+    detoured_chunks: int = 0
+    duplicates: int = 0
+    timeouts: int = 0
+    next_needed: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return len(self.received) >= self.total_chunks
+
+
+class AimdReceiverApp:
+    """Window-based (AIMD) receiver: the e2e baseline."""
+
+    def __init__(self, router: Router, config: ChunkSimConfig):
+        self.router = router
+        self.config = config
+        self.sim = router.sim
+        self.flows: Dict[int, AimdFlow] = {}
+
+    def owns(self, flow_id: int) -> bool:
+        return flow_id in self.flows
+
+    def add_flow(self, flow_id: int, sender, total_chunks: int) -> AimdFlow:
+        if flow_id in self.flows:
+            raise SimulationError(f"duplicate AIMD flow {flow_id}")
+        flow = AimdFlow(
+            flow_id, sender, total_chunks, window=self.config.aimd_initial_window
+        )
+        self.flows[flow_id] = flow
+        return flow
+
+    def start(self, flow_id: int) -> None:
+        self._fill_window(self.flows[flow_id])
+
+    # ------------------------------------------------------------------
+    def on_data(self, chunk: DataChunk) -> None:
+        flow = self.flows[chunk.flow_id]
+        timer = flow.outstanding.pop(chunk.chunk_id, None)
+        if timer is not None:
+            timer.cancel()
+        if chunk.chunk_id in flow.received:
+            flow.duplicates += 1
+        else:
+            flow.received.add(chunk.chunk_id)
+            flow.arrivals.append((self.sim.now, chunk.size_bytes))
+            flow.hops_total += chunk.hops
+            while flow.next_needed in flow.received:
+                flow.next_needed += 1
+            # Additive increase: one extra request per delivered window.
+            flow.window += 1.0 / max(flow.window, 1.0)
+            if flow.complete and flow.completion_time is None:
+                flow.completion_time = self.sim.now
+                return
+        self._fill_window(flow)
+
+    def _on_timeout(self, flow: AimdFlow, chunk_id: int) -> None:
+        if chunk_id not in flow.outstanding:
+            return
+        del flow.outstanding[chunk_id]
+        flow.timeouts += 1
+        # Multiplicative decrease.
+        flow.window = max(flow.window / 2.0, 1.0)
+        flow.retransmit.append(chunk_id)
+        self._fill_window(flow)
+
+    def _fill_window(self, flow: AimdFlow) -> None:
+        while len(flow.outstanding) < int(flow.window):
+            chunk_id = self._next_chunk(flow)
+            if chunk_id is None:
+                return
+            self._request(flow, chunk_id)
+
+    def _next_chunk(self, flow: AimdFlow) -> Optional[int]:
+        while flow.retransmit:
+            chunk_id = flow.retransmit.popleft()
+            if chunk_id not in flow.received and chunk_id not in flow.outstanding:
+                return chunk_id
+        if flow.next_new < flow.total_chunks:
+            chunk_id = flow.next_new
+            flow.next_new += 1
+            return chunk_id
+        return None
+
+    def _request(self, flow: AimdFlow, chunk_id: int) -> None:
+        request = Request(
+            flow_id=flow.flow_id,
+            next_chunk=chunk_id,
+            ack=flow.next_needed - 1,
+            anticipate_to=chunk_id,  # the baseline does not anticipate
+            receiver=self.router.node_id,
+            sender=flow.sender,
+            size_bytes=self.config.request_bytes,
+        )
+        flow.outstanding[chunk_id] = self.sim.schedule(
+            self.config.aimd_rto, lambda: self._on_timeout(flow, chunk_id)
+        )
+        self.router.receive_local_request(request)
+
+
+class AimdSenderApp:
+    """Stateless chunk server: one data chunk per incoming request."""
+
+    def __init__(self, router: Router, config: ChunkSimConfig):
+        self.router = router
+        self.config = config
+        self.flows: Dict[int, Tuple[object, int]] = {}
+        self.chunks_sent = 0
+
+    def owns(self, flow_id: int) -> bool:
+        return flow_id in self.flows
+
+    def add_flow(self, flow_id: int, receiver, total_chunks: int) -> None:
+        self.flows[flow_id] = (receiver, total_chunks)
+
+    def on_request(self, request: Request) -> None:
+        receiver, total = self.flows[request.flow_id]
+        if not 0 <= request.next_chunk < total:
+            return
+        chunk = DataChunk(
+            flow_id=request.flow_id,
+            chunk_id=request.next_chunk,
+            size_bytes=self.config.chunk_bytes,
+            receiver=receiver,
+            sender=self.router.node_id,
+        )
+        self.chunks_sent += 1
+        next_hop = self.router.fib.get(receiver)
+        if next_hop is None:
+            raise SimulationError(f"no route from AIMD sender to {receiver!r}")
+        self.router.forward(chunk, next_hop, upstream=self.router.node_id)
+
+    def on_backpressure(self, signal: Backpressure) -> None:
+        """The baseline ignores in-network signals (there are none)."""
+
+    def pump(self, iface) -> None:
+        """No push machinery in the baseline; sending is per-request."""

@@ -1,0 +1,80 @@
+"""Minimal discrete-event engine.
+
+A binary-heap scheduler with FIFO tie-breaking for simultaneous
+events.  Components schedule plain callbacks; cancellation is by
+tombstone (the event object is flagged and skipped when popped).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.  Create via :meth:`Simulator.schedule`."""
+
+    __slots__ = ("time", "seq", "fn", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """Event loop with a monotonically advancing clock."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap: List[Event] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run *fn* after *delay* seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay}")
+        event = Event(self.now + delay, self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
+        """Run *fn* at absolute simulated *time* (>= now)."""
+        return self.schedule(time - self.now, fn)
+
+    def run(self, until: float, max_events: Optional[int] = None) -> None:
+        """Process events until the clock passes *until*.
+
+        ``max_events`` is a safety valve for tests: exceeding it raises
+        :class:`SimulationError` (runaway event loops fail loudly).
+        """
+        if until < self.now:
+            raise SimulationError(f"cannot run backwards to {until}")
+        processed = 0
+        while self._heap and self._heap[0].time <= until:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.fn()
+            processed += 1
+            self.events_processed += 1
+            if max_events is not None and processed > max_events:
+                raise SimulationError(f"exceeded {max_events} events")
+        self.now = until
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including tombstones)."""
+        return len(self._heap)

@@ -1,0 +1,145 @@
+"""Router interface: anticipated-rate estimation and the phase machine.
+
+Each outgoing interface of an INRPP router tracks the *anticipated
+rate* ``r_a`` — the data it expects to have to forward in the next
+interval ``Ti``, inferred from the requests the router forwarded
+upstream (Eq. 1 of the paper) — and exposes the three-phase state:
+
+- **push-data** while ``r_a < ρ·r`` and the line queue is shallow;
+- **detour** when demand is about to exceed supply;
+- **back-pressure** once chunks sit in the interface's custody queue.
+
+The custody queue is the in-network storage of the paper: chunks that
+could be neither forwarded nor detoured wait here (FIFO) and drain
+back into the line as soon as the queue falls below the low watermark.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Optional
+
+from repro.cache.custody import CustodyStore
+from repro.chunksim.config import ChunkSimConfig
+from repro.chunksim.engine import Simulator
+from repro.chunksim.link import SimLink
+from repro.chunksim.messages import DataChunk
+from repro.metrics.timeseries import RateEstimator
+from repro.units import BITS_PER_BYTE
+
+
+class Phase(enum.Enum):
+    PUSH = "push-data"
+    DETOUR = "detour"
+    BACKPRESSURE = "back-pressure"
+
+
+class RouterInterface:
+    """One outgoing interface (toward a single neighbour)."""
+
+    def __init__(self, sim: Simulator, link: SimLink, config: ChunkSimConfig):
+        self.sim = sim
+        self.link = link
+        self.config = config
+        self.anticipated = RateEstimator(window=config.ti)
+        self.custody = CustodyStore(config.custody_bytes)
+        self._custody_queue: Deque[DataChunk] = deque()
+        #: Flow ids seen recently (flow -> last time), for fair-share
+        #: estimates in back-pressure notifications.
+        self._flows_seen = {}
+
+    @property
+    def neighbor(self):
+        return self.link.dst
+
+    # ------------------------------------------------------------------
+    # Eq. 1 bookkeeping
+    # ------------------------------------------------------------------
+    def anticipate(self, data_bits: float) -> None:
+        """Record that *data_bits* are expected through this interface.
+
+        Called when the router forwards a request upstream whose data
+        will come back out through this interface.
+        """
+        self.anticipated.record(self.sim.now, data_bits)
+
+    def anticipated_bps(self) -> float:
+        """The anticipated rate ``r_a`` for the next interval."""
+        return self.anticipated.rate(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Phase machine
+    # ------------------------------------------------------------------
+    def phase(self) -> Phase:
+        if len(self._custody_queue) > 0:
+            return Phase.BACKPRESSURE
+        if self.is_congested():
+            return Phase.DETOUR
+        return Phase.PUSH
+
+    def is_congested(self) -> bool:
+        """True when the interface should not take more line load."""
+        if self.link.queue_bytes >= self.config.high_watermark_bytes:
+            return True
+        return self.anticipated_bps() > self.config.rho * self.link.rate_bps
+
+    def can_accept(self, size_bytes: int) -> bool:
+        """Room on the line without overtaking custody chunks."""
+        if self._custody_queue:
+            return False
+        return (
+            self.link.queue_bytes + size_bytes <= self.config.high_watermark_bytes
+        )
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def enqueue(self, chunk: DataChunk) -> bool:
+        self.note_flow(chunk.flow_id)
+        return self.link.send(chunk)
+
+    def take_custody(self, chunk: DataChunk) -> bool:
+        """Store *chunk* until the line drains; False when full."""
+        if not self.custody.accept(chunk, chunk.size_bytes):
+            return False
+        self._custody_queue.append(chunk)
+        self.note_flow(chunk.flow_id)
+        return True
+
+    def drain_custody(self) -> Optional[DataChunk]:
+        """Move one custody chunk to the line if there is room."""
+        if not self._custody_queue:
+            return None
+        if self.link.queue_bytes > self.config.low_watermark_bytes:
+            return None
+        released = self.custody.release()
+        if released is None:
+            return None
+        chunk = self._custody_queue.popleft()
+        self.link.send(chunk)
+        return chunk
+
+    @property
+    def custody_backlog(self) -> int:
+        return len(self._custody_queue)
+
+    # ------------------------------------------------------------------
+    # Flow accounting for back-pressure fair shares
+    # ------------------------------------------------------------------
+    def note_flow(self, flow_id: int) -> None:
+        self._flows_seen[flow_id] = self.sim.now
+
+    def active_flow_count(self) -> int:
+        horizon = self.sim.now - 2 * self.config.ti
+        stale = [fid for fid, t in self._flows_seen.items() if t < horizon]
+        for fid in stale:
+            del self._flows_seen[fid]
+        return max(len(self._flows_seen), 1)
+
+    def fair_share_bps(self) -> float:
+        """Per-flow share this interface can sustain (for BP signals)."""
+        return self.link.rate_bps / self.active_flow_count()
+
+    def expected_chunk_bits(self) -> float:
+        return self.config.chunk_bytes * BITS_PER_BYTE

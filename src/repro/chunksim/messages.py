@@ -1,0 +1,91 @@
+"""Wire messages of the chunk-level simulator.
+
+The request format follows the paper exactly: ``⟨Nc, ACKc, Ac⟩`` —
+next chunk requested, cumulative acknowledgement, and the anticipation
+horizon (the last chunk the application announces it will want soon).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.topology.graph import Node
+
+_serial = itertools.count()
+
+
+@dataclass
+class Request:
+    """Receiver-driven request packet ``⟨Nc, ACKc, Ac⟩``."""
+
+    flow_id: int
+    #: Nc — the next chunk the application requests.
+    next_chunk: int
+    #: ACKc — highest in-order chunk received so far (-1 before any).
+    ack: int
+    #: Ac — last anticipated chunk (sender may push up to this).
+    anticipate_to: int
+    #: Routing endpoints: requests travel receiver -> sender.
+    receiver: Node = None
+    sender: Node = None
+    size_bytes: int = 100
+    serial: int = field(default_factory=lambda: next(_serial))
+
+
+@dataclass
+class DataChunk:
+    """One named content chunk travelling sender -> receiver."""
+
+    flow_id: int
+    chunk_id: int
+    size_bytes: int
+    receiver: Node = None
+    sender: Node = None
+    #: True when the chunk was pushed ahead of an explicit request.
+    anticipated: bool = False
+    #: Remaining forced hops of a detour tunnel (spoofed next hops).
+    tunnel: Tuple[Node, ...] = ()
+    #: The node that last forwarded this chunk (for back-pressure).
+    prev_hop: Node = None
+    #: Number of detour re-routes this chunk experienced.
+    detours: int = 0
+    hops: int = 0
+    serial: int = field(default_factory=lambda: next(_serial))
+
+
+@dataclass
+class Backpressure:
+    """Hop-by-hop back-pressure notification.
+
+    Sent by a congested node to its one-hop upstream neighbour when a
+    chunk had to be taken into custody; carries the rate the congested
+    interface can sustain for the flow so the upstream (ultimately the
+    sender) can enter the closed-loop mode.
+    """
+
+    flow_id: int
+    #: The congested link, oriented (congested node, its next hop).
+    congested_link: Tuple[Node, Node]
+    #: Rate the sender should fall back to (bits/s).
+    allowed_bps: float
+    #: Originating (congested) node.
+    origin: Node = None
+    size_bytes: int = 64
+    serial: int = field(default_factory=lambda: next(_serial))
+
+
+@dataclass
+class Gossip:
+    """Periodic one-hop neighbour state exchange (Section 3.3 (i)).
+
+    A router advertises, for each of its outgoing interfaces, the
+    current backlog so neighbours can make informed detour decisions.
+    """
+
+    origin: Node
+    #: next-hop -> queued bytes on the interface toward it.
+    backlog_bytes: dict = field(default_factory=dict)
+    size_bytes: int = 64
+    serial: int = field(default_factory=lambda: next(_serial))

@@ -1,0 +1,282 @@
+"""The INRPP router (and the drop-tail baseline router).
+
+Forwarding pipeline for a data chunk (Section 3.3 of the paper):
+
+1. route: pop the next forced hop of a detour tunnel, else FIB lookup
+   toward the chunk's receiver;
+2. **push-data**: if the outgoing interface has room, enqueue;
+3. **detour**: otherwise re-route the chunk through an alternative
+   sub-path around the congested link (spoofing the next hops via a
+   tunnel), preferring detours whose first hop is uncongested locally
+   and whose onward links look clear in the gossiped neighbour state;
+4. **back-pressure**: with no detour available, take the chunk into
+   the interface's custody store and notify the one-hop upstream
+   neighbour (which relays toward the sender) with the fair-share rate
+   the congested interface can sustain.
+
+In ``aimd`` mode the router is a plain FIFO drop-tail forwarder, which
+is what the e2e baseline of Fig. 3 runs over.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.chunksim.config import ChunkSimConfig
+from repro.chunksim.engine import Simulator
+from repro.chunksim.interface import Phase, RouterInterface
+from repro.chunksim.link import SimLink
+from repro.chunksim.messages import Backpressure, DataChunk, Gossip, Request
+from repro.chunksim.tracing import Trace
+from repro.errors import SimulationError
+from repro.routing.paths import Path
+from repro.topology.graph import Node
+from repro.units import BITS_PER_BYTE
+
+
+class Router:
+    """One network node: forwarding, custody, and local apps."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: Node,
+        config: ChunkSimConfig,
+        trace: Trace,
+        mode: str = "inrpp",
+    ):
+        if mode not in ("inrpp", "aimd"):
+            raise SimulationError(f"unknown router mode {mode!r}")
+        self.sim = sim
+        self.node_id = node_id
+        self.config = config
+        self.trace = trace
+        self.mode = mode
+        self.ifaces: Dict[Node, RouterInterface] = {}
+        self.fib: Dict[Node, Node] = {}
+        #: Detour options per congested next hop: list of full paths
+        #: ``(self, w1, [w2], next_hop)``.
+        self.detour_options: Dict[Node, List[Path]] = {}
+        #: Gossiped backlog of neighbour interfaces:
+        #: (neighbour, its next hop) -> queued bytes.
+        self.neighbor_backlog: Dict[Tuple[Node, Node], int] = {}
+        # Local applications (set by the network builder).
+        self.sender_app = None
+        self.receiver_app = None
+        self.drops = 0
+
+    # ------------------------------------------------------------------
+    # Wiring (done by ChunkNetwork)
+    # ------------------------------------------------------------------
+    def attach_link(self, link: SimLink) -> RouterInterface:
+        iface = RouterInterface(self.sim, link, self.config)
+        self.ifaces[link.dst] = iface
+        link.on_tx_complete = lambda: self._on_iface_drain(iface)
+        return iface
+
+    def iface_toward(self, destination: Node) -> RouterInterface:
+        next_hop = self.fib.get(destination)
+        if next_hop is None:
+            raise SimulationError(
+                f"{self.node_id!r} has no route toward {destination!r}"
+            )
+        return self.ifaces[next_hop]
+
+    # ------------------------------------------------------------------
+    # Receive dispatch (links deliver here)
+    # ------------------------------------------------------------------
+    def receive(self, packet, via_link: SimLink) -> None:
+        if isinstance(packet, DataChunk):
+            self._on_data(packet, upstream=via_link.src)
+        elif isinstance(packet, Request):
+            self._on_request(packet)
+        elif isinstance(packet, Backpressure):
+            self._on_backpressure(packet)
+        elif isinstance(packet, Gossip):
+            self._on_gossip(packet)
+        else:
+            raise SimulationError(f"unknown packet type: {packet!r}")
+
+    # ------------------------------------------------------------------
+    # Requests (travel receiver -> sender on the control fast path)
+    # ------------------------------------------------------------------
+    def receive_local_request(self, request: Request) -> None:
+        """Entry point for requests issued by a local receiver app."""
+        self._on_request(request)
+
+    def _on_request(self, request: Request) -> None:
+        if self.sender_app is not None and self.sender_app.owns(request.flow_id):
+            self.sender_app.on_request(request)
+            return
+        next_hop = self.fib.get(request.sender)
+        if next_hop is None:
+            self.trace.record(self.sim.now, self.node_id, "request-unroutable")
+            return
+        # Eq. 1: the data answering this request will leave through the
+        # interface toward the receiver — record the anticipated load.
+        data_iface = self.ifaces.get(self.fib.get(request.receiver))
+        if data_iface is not None:
+            data_iface.anticipate(self.config.chunk_bytes * BITS_PER_BYTE)
+            data_iface.note_flow(request.flow_id)
+        self.ifaces[next_hop].link.send_control(request)
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def _on_data(self, chunk: DataChunk, upstream: Node) -> None:
+        chunk.hops += 1
+        if self.receiver_app is not None and self.receiver_app.owns(chunk.flow_id):
+            self.receiver_app.on_data(chunk)
+            return
+        if chunk.tunnel:
+            next_hop, chunk.tunnel = chunk.tunnel[0], chunk.tunnel[1:]
+        else:
+            next_hop = self.fib.get(chunk.receiver)
+        if next_hop is None or next_hop not in self.ifaces:
+            self.drops += 1
+            self.trace.record(self.sim.now, self.node_id, "data-unroutable")
+            return
+        self.forward(chunk, next_hop, upstream)
+
+    def forward(self, chunk: DataChunk, next_hop: Node, upstream: Node) -> None:
+        """Apply the push / detour / back-pressure pipeline."""
+        iface = self.ifaces[next_hop]
+        chunk.prev_hop = self.node_id
+        if self.mode == "aimd":
+            if not iface.enqueue(chunk):
+                self.drops += 1
+                self.trace.record(self.sim.now, self.node_id, "drop-tail")
+            return
+
+        if iface.can_accept(chunk.size_bytes):
+            iface.enqueue(chunk)
+            return
+
+        option = self._pick_detour(chunk, next_hop)
+        if option is not None:
+            # option = (self, w1, ..., next_hop): forward to w1 with the
+            # rest as forced hops, prepended to any remaining tunnel.
+            chunk.detours += 1
+            chunk.tunnel = tuple(option[2:]) + tuple(chunk.tunnel)
+            self.trace.record(
+                self.sim.now, self.node_id, "detour", around=(self.node_id, next_hop)
+            )
+            self.forward(chunk, option[1], upstream)
+            return
+
+        self._enter_backpressure(chunk, iface, upstream)
+
+    def _pick_detour(self, chunk: DataChunk, next_hop: Node) -> Optional[Path]:
+        if self.config.detour_depth <= 0:
+            return None
+        if chunk.detours >= self.config.max_chunk_detours:
+            return None
+        best: Optional[Path] = None
+        best_queue = None
+        for option in self.detour_options.get(next_hop, ()):
+            first_hop = option[1]
+            iface = self.ifaces.get(first_hop)
+            if iface is None or not iface.can_accept(chunk.size_bytes):
+                continue
+            if self.config.gossip and not self._gossip_clear(option):
+                continue
+            if best_queue is None or iface.link.queue_bytes < best_queue:
+                best = option
+                best_queue = iface.link.queue_bytes
+        return best
+
+    def _gossip_clear(self, option: Path) -> bool:
+        """Check gossiped backlog of the option's onward links."""
+        for hop_from, hop_to in zip(option[1:], option[2:]):
+            backlog = self.neighbor_backlog.get((hop_from, hop_to))
+            if backlog is not None and backlog >= self.config.high_watermark_bytes:
+                return False
+        return True
+
+    def _enter_backpressure(
+        self, chunk: DataChunk, iface: RouterInterface, upstream: Node
+    ) -> None:
+        if not iface.take_custody(chunk):
+            self.drops += 1
+            self.trace.record(self.sim.now, self.node_id, "drop-custody-full")
+            return
+        self.trace.record(self.sim.now, self.node_id, "custody")
+        signal = Backpressure(
+            flow_id=chunk.flow_id,
+            congested_link=(self.node_id, iface.neighbor),
+            allowed_bps=iface.fair_share_bps(),
+            origin=self.node_id,
+        )
+        signal.sender = chunk.sender
+        self._send_backpressure(signal, upstream)
+
+    def _send_backpressure(self, signal: Backpressure, upstream: Node) -> None:
+        if upstream == self.node_id or upstream is None:
+            # Chunk originated here: deliver straight to the local app.
+            if self.sender_app is not None:
+                self.sender_app.on_backpressure(signal)
+            return
+        iface = self.ifaces.get(upstream)
+        if iface is None:
+            self.trace.record(self.sim.now, self.node_id, "bp-unroutable")
+            return
+        self.trace.record(self.sim.now, self.node_id, "bp-sent")
+        iface.link.send_control(signal)
+
+    def _on_backpressure(self, signal: Backpressure) -> None:
+        if self.sender_app is not None and self.sender_app.owns(signal.flow_id):
+            self.sender_app.on_backpressure(signal)
+            return
+        # Relay hop-by-hop toward the sender (reverse data path).
+        sender = getattr(signal, "sender", None)
+        next_hop = self.fib.get(sender) if sender is not None else None
+        if next_hop is None:
+            self.trace.record(self.sim.now, self.node_id, "bp-unroutable")
+            return
+        self.trace.record(self.sim.now, self.node_id, "bp-relayed")
+        self.ifaces[next_hop].link.send_control(signal)
+
+    # ------------------------------------------------------------------
+    # Gossip (Section 3.3, option (i))
+    # ------------------------------------------------------------------
+    def start_gossip(self) -> None:
+        if not self.config.gossip or self.mode != "inrpp":
+            return
+
+        def _tick() -> None:
+            message = Gossip(
+                origin=self.node_id,
+                backlog_bytes={
+                    neighbor: iface.link.queue_bytes
+                    + iface.custody.used_bytes
+                    for neighbor, iface in self.ifaces.items()
+                },
+            )
+            for iface in self.ifaces.values():
+                iface.link.send_control(message)
+            self.sim.schedule(self.config.ti, _tick)
+
+        self.sim.schedule(self.config.ti, _tick)
+
+    def _on_gossip(self, message: Gossip) -> None:
+        for next_hop, backlog in message.backlog_bytes.items():
+            self.neighbor_backlog[(message.origin, next_hop)] = backlog
+
+    # ------------------------------------------------------------------
+    # Drain hook: custody -> line, then wake the local sender.
+    # ------------------------------------------------------------------
+    def _on_iface_drain(self, iface: RouterInterface) -> None:
+        while iface.drain_custody() is not None:
+            self.trace.record(self.sim.now, self.node_id, "custody-drain")
+        if self.sender_app is not None:
+            self.sender_app.pump(iface)
+
+    # ------------------------------------------------------------------
+    def custody_used_bytes(self) -> int:
+        return sum(iface.custody.used_bytes for iface in self.ifaces.values())
+
+    def custody_peak_bytes(self) -> int:
+        return sum(iface.custody.stats.peak_bytes for iface in self.ifaces.values())
+
+    def __repr__(self) -> str:
+        return f"Router({self.node_id!r}, mode={self.mode})"

@@ -1,0 +1,97 @@
+"""Command-line interface: regenerate every paper artifact.
+
+Usage::
+
+    python -m repro table1               # Table 1 with paper deltas
+    python -m repro fig3 [--duration S]  # fluid + chunk-level Fig. 3
+    python -m repro fig4 [--snapshots N] # Fig. 4a bars + Fig. 4b CDF
+    python -m repro export-isp telstra out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.fig3 import run_fig3_all
+from repro.analysis.fig4 import run_fig4
+from repro.analysis.table1 import run_table1
+from repro.topology.io import save_topology
+from repro.topology.isp import ISP_NAMES, build_isp_topology
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    result = run_table1(seed=args.seed)
+    print(result.render())
+    print(f"\nmax deviation from the paper: {result.max_error:.4f} pp")
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    results = run_fig3_all(duration=args.duration)
+    for result in results.values():
+        print(result.comparisons().render())
+        print()
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    result = run_fig4(seed=args.seed, num_snapshots=args.snapshots)
+    print(result.render_fig4a())
+    print()
+    print(result.comparisons().render())
+    print()
+    print(result.render_fig4b())
+    return 0
+
+
+def _cmd_export_isp(args: argparse.Namespace) -> int:
+    topo = build_isp_topology(args.isp, seed=args.seed)
+    save_topology(topo, args.output)
+    print(f"wrote {topo!r} to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Revisiting Resource Pooling' (HotNets 2014)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("table1", help="Table 1: detour availability")
+
+    fig3 = commands.add_parser("fig3", help="Fig. 3: fairness worked example")
+    fig3.add_argument(
+        "--duration", type=float, default=20.0, help="chunk-sim seconds"
+    )
+
+    fig4 = commands.add_parser("fig4", help="Fig. 4: flow-level evaluation")
+    fig4.add_argument(
+        "--snapshots", type=int, default=8, help="snapshots per configuration"
+    )
+    fig4.set_defaults(seed=42)
+
+    export = commands.add_parser("export-isp", help="export an ISP map as JSON")
+    export.add_argument("isp", choices=list(ISP_NAMES))
+    export.add_argument("output", help="output JSON path")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "table1": _cmd_table1,
+        "fig3": _cmd_fig3,
+        "fig4": _cmd_fig4,
+        "export-isp": _cmd_export_isp,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+masking programming errors (``TypeError``, ``KeyError`` and friends are
+still allowed to escape where they indicate caller bugs).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class TopologyError(ReproError):
+    """A topology operation failed (unknown node, duplicate link, ...)."""
+
+
+class RoutingError(ReproError):
+    """A routing computation failed (no path, invalid path, ...)."""
+
+
+class NoPathError(RoutingError):
+    """No path exists between the requested endpoints."""
+
+    def __init__(self, source, destination, detail: str = ""):
+        self.source = source
+        self.destination = destination
+        message = f"no path from {source!r} to {destination!r}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """A simulator reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was asked for something it cannot produce."""
+
+
+class CacheError(ReproError):
+    """A cache/custody-store operation failed."""
+
+
+class AnalysisError(ReproError):
+    """An experiment driver could not produce its result."""

@@ -1,0 +1,49 @@
+"""Flow-level simulation substrate (the paper's Fig. 4 evaluation).
+
+The paper evaluates the push-data and detour phases of INRPP "in a
+simple flow-level simulator, where flows arrive Poisson distributed",
+against single shortest-path routing (SP) and ECMP.  This package
+provides:
+
+- :mod:`~repro.flowsim.allocation` — exact max-min (progressive
+  filling) bandwidth allocation for single-path flows;
+- :mod:`~repro.flowsim.multipath` — the INRP allocator: progressive
+  filling where a flow blocked at a saturated link *detours* its
+  further growth through alternative sub-paths (1-hop detours, with
+  one extra hop allowed on the detour path, as in the paper);
+- :mod:`~repro.flowsim.strategies` — SP / ECMP / INRP strategy objects;
+- :mod:`~repro.flowsim.simulator` — an event-driven simulator with
+  per-event rate recomputation (arrivals, departures, completion);
+- :mod:`~repro.flowsim.snapshots` — steady-state snapshot evaluation
+  used by the Fig. 4 benches.
+"""
+
+from repro.flowsim.allocation import max_min_allocation
+from repro.flowsim.multipath import MultipathAllocation, inrp_allocation
+from repro.flowsim.flow import ActiveFlow, FlowRecord
+from repro.flowsim.strategies import (
+    EcmpStrategy,
+    InrpStrategy,
+    RoutingStrategy,
+    ShortestPathStrategy,
+    make_strategy,
+)
+from repro.flowsim.simulator import FlowLevelSimulator, SimulationResult
+from repro.flowsim.snapshots import SnapshotResult, snapshot_experiment
+
+__all__ = [
+    "max_min_allocation",
+    "inrp_allocation",
+    "MultipathAllocation",
+    "ActiveFlow",
+    "FlowRecord",
+    "RoutingStrategy",
+    "ShortestPathStrategy",
+    "EcmpStrategy",
+    "InrpStrategy",
+    "make_strategy",
+    "FlowLevelSimulator",
+    "SimulationResult",
+    "snapshot_experiment",
+    "SnapshotResult",
+]

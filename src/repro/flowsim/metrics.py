@@ -1,0 +1,44 @@
+"""Aggregation helpers over flow-level simulation records."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import AnalysisError
+from repro.flowsim.flow import FlowRecord
+from repro.metrics.stats import Cdf
+
+
+def completion_ratio(records: Sequence[FlowRecord]) -> float:
+    """Fraction of flows that finished their transfer."""
+    if not records:
+        raise AnalysisError("no records")
+    return sum(1 for record in records if record.completed) / len(records)
+
+
+def mean_fct(records: Sequence[FlowRecord]) -> Optional[float]:
+    """Mean flow completion time over completed flows (None if none)."""
+    fcts = [record.fct for record in records if record.completed]
+    if not fcts:
+        return None
+    return sum(fcts) / len(fcts)
+
+
+def stretch_cdf(records: Sequence[FlowRecord]) -> Cdf:
+    """Traffic-weighted stretch CDF over flows with any delivery."""
+    values: List[float] = []
+    weights: List[float] = []
+    for record in records:
+        if record.delivered_bits > 0:
+            values.append(record.stretch)
+            weights.append(record.delivered_bits)
+    if not values:
+        raise AnalysisError("no delivered traffic to build a stretch CDF")
+    return Cdf(values, weights)
+
+
+def goodput_bps(records: Sequence[FlowRecord], duration: float) -> float:
+    """Aggregate delivered bits over *duration* seconds."""
+    if duration <= 0:
+        raise AnalysisError(f"duration must be positive, got {duration}")
+    return sum(record.delivered_bits for record in records) / duration

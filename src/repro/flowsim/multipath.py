@@ -1,0 +1,302 @@
+"""The INRP fluid allocator: progressive filling with detour switching.
+
+This models the push-data + detour phases of the paper at the flow
+level.  All flows grow their sending rate together (processor-sharing
+senders pushing open loop).  When a link on a flow's active sub-path
+saturates, the *node before the bottleneck* shifts the flow's further
+growth onto a detour around that link (1-hop detours by default; a
+detour link may itself be detoured while the replacement budget
+lasts).  Only when no detour exists does the flow stop growing — the
+fluid equivalent of entering the back-pressure phase.
+
+The outcome is the paper's "global fairness": on the shared link of
+Fig. 3 both flows obtain 5 Mbps (the bottlenecked flow carries
+2 Mbps on the direct link plus 3 Mbps via the detour), where e2e
+max-min gives (2, 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.routing.detour import DetourTable
+from repro.routing.paths import Path, path_links
+from repro.topology.graph import link_key
+
+FlowId = Hashable
+LinkId = Hashable
+
+_EPS = 1e-9
+
+
+def _rel_tol(scale: float) -> float:
+    """Tolerance proportional to the magnitudes in play."""
+    if math.isinf(scale):
+        return _EPS
+    return _EPS * (1.0 + abs(scale))
+
+
+@dataclass
+class _SubPath:
+    path: Path
+    carried: float = 0.0
+    replacements: int = 0
+
+
+@dataclass
+class _FlowState:
+    demand: float
+    subpaths: List[_SubPath] = field(default_factory=list)
+    active: Optional[int] = 0
+    total: float = 0.0
+    frozen: bool = False
+    freeze_reason: str = ""
+    switches: int = 0
+
+
+@dataclass
+class MultipathAllocation:
+    """Result of :func:`inrp_allocation`.
+
+    Attributes
+    ----------
+    rates:
+        Total rate per flow (bits/s).
+    splits:
+        Per flow, the ``(path, rate)`` pairs with positive rate, in
+        creation order (primary first).
+    switches:
+        Total number of detour switches performed.
+    freeze_reasons:
+        Per flow, why it stopped growing (``"demand"`` or
+        ``"no-detour"``).
+    """
+
+    rates: Dict[FlowId, float]
+    splits: Dict[FlowId, List[Tuple[Path, float]]]
+    switches: int
+    freeze_reasons: Dict[FlowId, str]
+
+    def stretch(self, flow: FlowId) -> float:
+        """Bit-weighted path stretch of *flow* (the Fig. 4b metric)."""
+        parts = self.splits[flow]
+        if not parts:
+            return 1.0
+        primary_hops = len(parts[0][0]) - 1
+        total = sum(rate for _, rate in parts)
+        if total <= 0 or primary_hops <= 0:
+            return 1.0
+        weighted = sum(rate * (len(path) - 1) for path, rate in parts)
+        return weighted / (total * primary_hops)
+
+
+def _splice(path: Path, index: int, option: Path) -> Optional[Path]:
+    """Replace the link at *index* of *path* with detour *option*.
+
+    *option* runs from ``path[index]`` to ``path[index + 1]``.  Returns
+    None when the spliced path would revisit a node.
+    """
+    if option[0] != path[index] or option[-1] != path[index + 1]:
+        return None
+    candidate = path[:index] + option + path[index + 2 :]
+    if len(set(candidate)) != len(candidate):
+        return None
+    return candidate
+
+
+def inrp_allocation(
+    capacities: Mapping[LinkId, float],
+    flow_paths: Mapping[FlowId, Path],
+    demands: Mapping[FlowId, float],
+    detour_table: DetourTable,
+    max_replacements: int = 2,
+    max_switches_per_flow: int = 16,
+) -> MultipathAllocation:
+    """INRP fluid allocation (see module docstring).
+
+    Parameters
+    ----------
+    capacities:
+        Canonical link -> capacity (bits/s).
+    flow_paths:
+        Primary (shortest) path per flow.
+    detour_table:
+        Pre-computed detour options; its ``max_intermediate`` controls
+        detour depth (1 = the paper's one-hop detours).
+    max_replacements:
+        How many links of a single sub-path may be replaced by detours
+        (2 models "nodes on the detour path can further detour, but
+        for one extra hop only").
+    """
+    flows: Dict[FlowId, _FlowState] = {}
+    residual: Dict[LinkId, float] = dict(capacities)
+    growth: Dict[LinkId, int] = {link: 0 for link in capacities}
+
+    def _links(path: Path) -> List[LinkId]:
+        return path_links(path)
+
+    def _add_growth(path: Path, delta: int) -> None:
+        for link in _links(path):
+            growth[link] += delta
+
+    for flow_id, path in flow_paths.items():
+        demand = demands[flow_id]
+        if demand < 0:
+            raise SimulationError(f"flow {flow_id!r} has negative demand")
+        state = _FlowState(demand=demand, subpaths=[_SubPath(tuple(path))])
+        if len(path) < 2 or demand <= _EPS:
+            state.frozen = True
+            state.active = None
+            state.total = demand if len(path) < 2 else 0.0
+            state.freeze_reason = "demand"
+        flows[flow_id] = state
+        if not state.frozen:
+            for link in _links(state.subpaths[0].path):
+                if link not in residual:
+                    raise SimulationError(
+                        f"flow {flow_id!r} uses unknown link {link!r}"
+                    )
+            _add_growth(state.subpaths[0].path, +1)
+
+    def _best_option(link: Tuple, exclude_nodes: set) -> Optional[Path]:
+        u, v = link
+        best: Optional[Path] = None
+        best_spare = -1.0
+        for option in detour_table.options(u, v):
+            if any(node in exclude_nodes for node in option[1:-1]):
+                continue
+            option_links = _links(option)
+            spare = min(residual.get(l, 0.0) for l in option_links)
+            floor = max(_rel_tol(capacities.get(l, 0.0)) for l in option_links)
+            if spare <= floor:
+                continue
+            if spare > best_spare + _EPS:
+                best, best_spare = option, spare
+        return best
+
+    def _reroute(state: _FlowState) -> bool:
+        """Move the flow's growth off saturated links; False = freeze."""
+        if state.active is None:
+            return False
+        active = state.subpaths[state.active]
+        candidate = active.path
+        replacements = active.replacements
+        changed = True
+        while changed:
+            changed = False
+            for index, link in enumerate(_links(candidate)):
+                if residual.get(link, 0.0) > _rel_tol(capacities.get(link, 0.0)):
+                    continue
+                if replacements >= max_replacements:
+                    return False
+                u, v = candidate[index], candidate[index + 1]
+                option = _best_option((u, v), set(candidate))
+                if option is None:
+                    return False
+                spliced = _splice(candidate, index, option)
+                if spliced is None:
+                    return False
+                candidate = spliced
+                replacements += 1
+                changed = True
+                break
+        if candidate == active.path:
+            return True  # nothing saturated after all
+        _add_growth(active.path, -1)
+        state.subpaths.append(_SubPath(candidate, replacements=replacements))
+        state.active = len(state.subpaths) - 1
+        state.switches += 1
+        _add_growth(candidate, +1)
+        return True
+
+    unfrozen = {flow_id for flow_id, state in flows.items() if not state.frozen}
+    guard = 0
+    max_iterations = 16 * (len(flows) + len(capacities)) + 64
+    while unfrozen:
+        guard += 1
+        if guard > max_iterations:
+            raise SimulationError("INRP allocation did not converge")
+        demand_step = min(
+            flows[flow_id].demand - flows[flow_id].total for flow_id in unfrozen
+        )
+        saturation_step = math.inf
+        saturating: List[LinkId] = []
+        for link, count in growth.items():
+            if count <= 0:
+                continue
+            candidate_step = residual[link] / count
+            if candidate_step < saturation_step - _rel_tol(saturation_step):
+                saturation_step = candidate_step
+                saturating = [link]
+            elif candidate_step <= saturation_step + _rel_tol(saturation_step):
+                saturating.append(link)
+        step = max(0.0, min(demand_step, saturation_step))
+
+        for link, count in growth.items():
+            if count > 0:
+                residual[link] -= step * count
+        for flow_id in unfrozen:
+            state = flows[flow_id]
+            state.total += step
+            state.subpaths[state.active].carried += step
+
+        # Demand events.
+        satisfied = [
+            flow_id
+            for flow_id in unfrozen
+            if flows[flow_id].demand - flows[flow_id].total
+            <= _rel_tol(flows[flow_id].total)
+        ]
+        for flow_id in satisfied:
+            state = flows[flow_id]
+            _add_growth(state.subpaths[state.active].path, -1)
+            state.frozen = True
+            state.freeze_reason = "demand"
+            state.active = None
+            unfrozen.discard(flow_id)
+
+        # Saturation events: reroute or freeze affected flows.
+        saturated = set()
+        if saturating and saturation_step <= demand_step + _rel_tol(demand_step):
+            saturated = set(saturating)
+            for link in saturated:
+                residual[link] = 0.0
+        if not saturated and not satisfied:
+            raise SimulationError("INRP allocation made no progress")
+        if saturated:
+            affected = [
+                flow_id
+                for flow_id in sorted(unfrozen, key=repr)
+                if any(
+                    link in saturated
+                    for link in _links(
+                        flows[flow_id].subpaths[flows[flow_id].active].path
+                    )
+                )
+            ]
+            for flow_id in affected:
+                state = flows[flow_id]
+                if state.switches >= max_switches_per_flow or not _reroute(state):
+                    _add_growth(state.subpaths[state.active].path, -1)
+                    state.frozen = True
+                    state.freeze_reason = "no-detour"
+                    state.active = None
+                    unfrozen.discard(flow_id)
+
+    rates = {flow_id: state.total for flow_id, state in flows.items()}
+    splits = {
+        flow_id: [
+            (sub.path, sub.carried)
+            for sub in state.subpaths
+            if sub.carried > _EPS or sub is state.subpaths[0]
+        ]
+        for flow_id, state in flows.items()
+    }
+    switches = sum(state.switches for state in flows.values())
+    reasons = {flow_id: state.freeze_reason for flow_id, state in flows.items()}
+    return MultipathAllocation(
+        rates=rates, splits=splits, switches=switches, freeze_reasons=reasons
+    )

@@ -1,0 +1,178 @@
+"""Routing/allocation strategies: SP, ECMP and INRP.
+
+These are the three systems compared in the paper's Fig. 4a ("SP",
+"ECMP", "URP" — the INRP abstraction).  A strategy decides (a) the
+primary path of each flow and (b) how bandwidth is shared among the
+active flows:
+
+- **SP** — single deterministic shortest path, e2e max-min sharing;
+- **ECMP** — per-flow hash over the equal-cost shortest paths, e2e
+  max-min sharing;
+- **INRP** — shortest primary path, INRP fluid allocation
+  (:func:`repro.flowsim.multipath.inrp_allocation`): growth blocked at
+  a saturated link detours around it instead of freezing.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Tuple
+
+from repro.errors import ConfigurationError
+from repro.flowsim.allocation import max_min_allocation
+from repro.flowsim.multipath import inrp_allocation
+from repro.routing.detour import DetourTable
+from repro.routing.ecmp import all_shortest_paths, ecmp_hash
+from repro.routing.paths import Path, path_links
+from repro.routing.shortest import shortest_path
+from repro.topology.graph import Node, Topology
+
+FlowId = Hashable
+
+
+@dataclass
+class AllocationOutcome:
+    """Rates and per-path splits decided by a strategy."""
+
+    rates: Dict[FlowId, float]
+    splits: Dict[FlowId, List[Tuple[Path, float]]]
+    #: Number of detour switches (0 for single-path strategies).
+    switches: int = 0
+    #: Flows that stopped growing without a detour (INRP only).
+    backpressured: List[FlowId] = field(default_factory=list)
+
+
+class RoutingStrategy(abc.ABC):
+    """Base class caching topology-derived routing state."""
+
+    name: str = "abstract"
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self.capacities = topology.link_capacities()
+        self._path_cache: Dict[Tuple[Node, Node], Path] = {}
+
+    def route(self, flow_id: FlowId, source: Node, destination: Node) -> Path:
+        """Primary path for a flow (deterministic, cached)."""
+        key = (source, destination)
+        if key not in self._path_cache:
+            self._path_cache[key] = shortest_path(self.topology, source, destination)
+        return self._path_cache[key]
+
+    @abc.abstractmethod
+    def allocate(
+        self, flows: Mapping[FlowId, Tuple[Path, float]]
+    ) -> AllocationOutcome:
+        """Allocate bandwidth to flows given ``{id: (path, demand)}``."""
+
+
+class ShortestPathStrategy(RoutingStrategy):
+    """Single shortest path with e2e max-min fair sharing."""
+
+    name = "SP"
+
+    def allocate(
+        self, flows: Mapping[FlowId, Tuple[Path, float]]
+    ) -> AllocationOutcome:
+        flow_links = {fid: path_links(path) for fid, (path, _) in flows.items()}
+        demands = {fid: demand for fid, (_, demand) in flows.items()}
+        rates = max_min_allocation(self.capacities, flow_links, demands)
+        splits = {
+            fid: [(flows[fid][0], rates[fid])] if rates[fid] > 0 else [(flows[fid][0], 0.0)]
+            for fid in flows
+        }
+        return AllocationOutcome(rates=rates, splits=splits)
+
+
+class EcmpStrategy(ShortestPathStrategy):
+    """Per-flow ECMP over equal-cost shortest paths, then max-min."""
+
+    name = "ECMP"
+
+    def __init__(self, topology: Topology):
+        super().__init__(topology)
+        self._ecmp_cache: Dict[Tuple[Node, Node], List[Path]] = {}
+
+    def route(self, flow_id: FlowId, source: Node, destination: Node) -> Path:
+        key = (source, destination)
+        if key not in self._ecmp_cache:
+            self._ecmp_cache[key] = all_shortest_paths(
+                self.topology, source, destination
+            )
+        paths = self._ecmp_cache[key]
+        return paths[ecmp_hash(flow_id, len(paths))]
+
+
+class InrpStrategy(RoutingStrategy):
+    """The paper's INRP abstraction (push + detour at the flow level).
+
+    Parameters
+    ----------
+    detour_depth:
+        ``max_intermediate`` of the detour table.  The default 2
+        matches the paper's simulator: "routers exploit up to 1-hop
+        detours and nodes on the detour path can further detour, but
+        for one extra hop only" — i.e. composite detours through up to
+        two intermediate nodes.
+    max_replacements:
+        How many links of a sub-path may independently be replaced by
+        detours before the flow gives up (enters back-pressure).
+    """
+
+    name = "INRP"
+
+    def __init__(
+        self,
+        topology: Topology,
+        detour_depth: int = 2,
+        max_replacements: int = 2,
+    ):
+        super().__init__(topology)
+        if detour_depth < 0:
+            raise ConfigurationError(f"detour_depth must be >= 0, got {detour_depth}")
+        self.detour_depth = detour_depth
+        self.max_replacements = max_replacements if detour_depth > 0 else 0
+        # depth 0 still needs a table object; it simply never offers paths.
+        self.detour_table = DetourTable(topology, max(detour_depth, 1))
+
+    def allocate(
+        self, flows: Mapping[FlowId, Tuple[Path, float]]
+    ) -> AllocationOutcome:
+        flow_paths = {fid: path for fid, (path, _) in flows.items()}
+        demands = {fid: demand for fid, (_, demand) in flows.items()}
+        result = inrp_allocation(
+            self.capacities,
+            flow_paths,
+            demands,
+            self.detour_table,
+            max_replacements=self.max_replacements,
+        )
+        backpressured = [
+            fid
+            for fid, reason in result.freeze_reasons.items()
+            if reason == "no-detour"
+        ]
+        return AllocationOutcome(
+            rates=result.rates,
+            splits=result.splits,
+            switches=result.switches,
+            backpressured=backpressured,
+        )
+
+
+_STRATEGIES = {
+    "sp": ShortestPathStrategy,
+    "ecmp": EcmpStrategy,
+    "inrp": InrpStrategy,
+    "urp": InrpStrategy,  # the label used in the paper's Fig. 4a legend
+}
+
+
+def make_strategy(name: str, topology: Topology, **kwargs) -> RoutingStrategy:
+    """Build a strategy by name (``sp``, ``ecmp``, ``inrp``/``urp``)."""
+    cls = _STRATEGIES.get(name.lower())
+    if cls is None:
+        known = ", ".join(sorted(_STRATEGIES))
+        raise ConfigurationError(f"unknown strategy {name!r}; known: {known}")
+    return cls(topology, **kwargs)

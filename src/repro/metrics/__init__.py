@@ -1,0 +1,26 @@
+"""Metrics: fairness indices, distribution statistics, time series."""
+
+from repro.metrics.fairness import (
+    bottleneck_fairness_certificate,
+    jain_index,
+    max_min_violations,
+)
+from repro.metrics.stats import (
+    Cdf,
+    SummaryStats,
+    summarize,
+    weighted_cdf,
+)
+from repro.metrics.timeseries import RateEstimator, TimeWeightedMean
+
+__all__ = [
+    "jain_index",
+    "max_min_violations",
+    "bottleneck_fairness_certificate",
+    "Cdf",
+    "weighted_cdf",
+    "SummaryStats",
+    "summarize",
+    "TimeWeightedMean",
+    "RateEstimator",
+]

@@ -1,0 +1,106 @@
+"""Distribution statistics: CDFs, percentiles, summaries.
+
+:class:`Cdf` backs the Fig. 4b path-stretch plot: an empirical,
+optionally weighted, cumulative distribution with exact evaluation at
+arbitrary points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Cdf:
+    """Empirical (weighted) cumulative distribution function.
+
+    ``cdf(x)`` returns ``P[X <= x]``.  Weights model, e.g., bits
+    carried per flow so that the stretch CDF is traffic-weighted as in
+    the paper's Fig. 4b.
+    """
+
+    def __init__(self, values: Sequence[float], weights: Optional[Sequence[float]] = None):
+        if len(values) == 0:
+            raise ConfigurationError("cannot build a CDF from no values")
+        values = np.asarray(values, dtype=float)
+        if weights is None:
+            weights = np.ones_like(values)
+        else:
+            weights = np.asarray(weights, dtype=float)
+            if weights.shape != values.shape:
+                raise ConfigurationError("weights must match values in length")
+            if np.any(weights < 0):
+                raise ConfigurationError("weights must be non-negative")
+        total = float(weights.sum())
+        if total <= 0:
+            raise ConfigurationError("total weight must be positive")
+        order = np.argsort(values, kind="stable")
+        self._xs = values[order]
+        self._ps = np.cumsum(weights[order]) / total
+
+    def __call__(self, x: float) -> float:
+        """``P[X <= x]``."""
+        index = np.searchsorted(self._xs, x, side="right")
+        if index == 0:
+            return 0.0
+        return float(self._ps[index - 1])
+
+    def quantile(self, q: float) -> float:
+        """Smallest x with ``P[X <= x] >= q``."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        index = np.searchsorted(self._ps, q, side="left")
+        index = min(index, len(self._xs) - 1)
+        return float(self._xs[index])
+
+    def points(self) -> Tuple[List[float], List[float]]:
+        """Step points ``(xs, ps)`` suitable for plotting."""
+        return list(map(float, self._xs)), list(map(float, self._ps))
+
+    @property
+    def min(self) -> float:
+        return float(self._xs[0])
+
+    @property
+    def max(self) -> float:
+        return float(self._xs[-1])
+
+
+def weighted_cdf(values: Sequence[float], weights: Sequence[float]) -> Cdf:
+    """Convenience constructor mirroring :class:`Cdf`."""
+    return Cdf(values, weights)
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Summary statistics of *values*."""
+    if len(values) == 0:
+        raise ConfigurationError("cannot summarise an empty sample")
+    array = np.asarray(values, dtype=float)
+    return SummaryStats(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std()),
+        minimum=float(array.min()),
+        p50=float(np.percentile(array, 50)),
+        p90=float(np.percentile(array, 90)),
+        p99=float(np.percentile(array, 99)),
+        maximum=float(array.max()),
+    )

@@ -1,0 +1,88 @@
+"""Yen's k-shortest loopless paths.
+
+Used by the INRP flow-level strategy to pre-compute alternative
+sub-paths, and exposed as a general substrate.  Implemented from
+scratch on top of our deterministic Dijkstra, with the textbook
+root-path/spur-node structure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import NoPathError, RoutingError
+from repro.routing.paths import Path, path_hops
+from repro.routing.shortest import WeightFn, shortest_path
+from repro.topology.graph import Node, Topology
+
+
+def _spur_path(
+    topo: Topology,
+    spur_node: Node,
+    destination: Node,
+    banned_links: Set[Tuple[Node, Node]],
+    banned_nodes: Set[Node],
+    weight: Optional[WeightFn],
+) -> Optional[Path]:
+    """Shortest path avoiding banned links/nodes, or None."""
+    scratch = topo.copy("ksp-scratch")
+    for u, v in banned_links:
+        if scratch.has_link(u, v):
+            scratch.remove_link(u, v)
+    for node in banned_nodes:
+        if scratch.has_node(node):
+            for neighbour in list(scratch.neighbors(node)):
+                scratch.remove_link(node, neighbour)
+    try:
+        return shortest_path(scratch, spur_node, destination, weight)
+    except NoPathError:
+        return None
+
+
+def k_shortest_paths(
+    topo: Topology,
+    source: Node,
+    destination: Node,
+    k: int,
+    weight: Optional[WeightFn] = None,
+) -> List[Path]:
+    """Up to *k* loopless paths in non-decreasing cost order.
+
+    Raises :class:`NoPathError` if even one path does not exist, and
+    returns fewer than *k* paths when the graph does not contain them.
+    """
+    if k < 1:
+        raise RoutingError(f"k must be >= 1, got {k}")
+    accepted: List[Path] = [shortest_path(topo, source, destination, weight)]
+    candidates: List[Tuple[float, Path]] = []
+
+    def _cost(path: Path) -> float:
+        if weight is None:
+            return float(path_hops(path))
+        return sum(weight(u, v) for u, v in zip(path, path[1:]))
+
+    while len(accepted) < k:
+        previous = accepted[-1]
+        for i in range(len(previous) - 1):
+            spur_node = previous[i]
+            root = previous[: i + 1]
+            banned_links: Set[Tuple[Node, Node]] = set()
+            for path in accepted:
+                if path[: i + 1] == root and len(path) > i + 1:
+                    banned_links.add((path[i], path[i + 1]))
+            banned_nodes = set(root[:-1])
+            spur = _spur_path(
+                topo, spur_node, destination, banned_links, banned_nodes, weight
+            )
+            if spur is None:
+                continue
+            candidate = root[:-1] + spur
+            entry = (_cost(candidate), candidate)
+            if candidate not in accepted and entry not in candidates:
+                candidates.append(entry)
+        if not candidates:
+            break
+        candidates.sort(key=lambda item: (item[0], tuple(repr(n) for n in item[1])))
+        _, best = candidates.pop(0)
+        accepted.append(best)
+    return accepted

@@ -1,0 +1,64 @@
+"""Path representation and helpers.
+
+A path is a plain tuple of nodes ``(n0, n1, ..., nk)``.  Using tuples
+(rather than a class) keeps paths hashable, cheap and directly usable
+as dictionary keys by the allocators.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import RoutingError
+from repro.topology.graph import Link, Node, Topology, link_key
+
+Path = Tuple[Node, ...]
+
+
+def path_hops(path: Sequence[Node]) -> int:
+    """Number of links traversed by *path*.
+
+    >>> path_hops((1, 2, 4))
+    2
+    """
+    if len(path) < 1:
+        raise RoutingError("a path needs at least one node")
+    return len(path) - 1
+
+
+def path_links(path: Sequence[Node]) -> List[Link]:
+    """Canonical links traversed by *path*, in order."""
+    return [link_key(u, v) for u, v in zip(path, path[1:])]
+
+
+def validate_path(topo: Topology, path: Sequence[Node]) -> Path:
+    """Check that *path* is a simple path over existing links.
+
+    Returns the path as a tuple; raises :class:`RoutingError` on any
+    violation (unknown node, missing link, repeated node).
+    """
+    if len(path) < 1:
+        raise RoutingError("a path needs at least one node")
+    for node in path:
+        if not topo.has_node(node):
+            raise RoutingError(f"unknown node on path: {node!r}")
+    if len(set(path)) != len(path):
+        raise RoutingError(f"path revisits a node: {tuple(path)!r}")
+    for u, v in zip(path, path[1:]):
+        if not topo.has_link(u, v):
+            raise RoutingError(f"path uses missing link: {u!r} -- {v!r}")
+    return tuple(path)
+
+
+def path_stretch(path: Sequence[Node], shortest_hops: int) -> float:
+    """Multiplicative path stretch relative to the shortest path.
+
+    This is the paper's Fig. 4b metric: hops taken divided by hops of
+    the shortest path between the same endpoints.
+
+    >>> path_stretch((1, 3, 2), 2)
+    1.0
+    """
+    if shortest_hops <= 0:
+        raise RoutingError(f"shortest_hops must be positive, got {shortest_hops}")
+    return path_hops(path) / shortest_hops

@@ -1,0 +1,141 @@
+"""Deterministic single-source shortest paths.
+
+Implemented from scratch (heap-based Dijkstra) so that tie-breaking is
+under our control: when several predecessors give the same distance,
+the lexicographically smallest ``repr`` wins, making routing tables
+stable across runs, platforms and networkx versions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.errors import NoPathError, RoutingError
+from repro.routing.paths import Path
+from repro.topology.graph import Node, Topology
+
+WeightFn = Callable[[Node, Node], float]
+
+
+def _hop_weight(_u: Node, _v: Node) -> float:
+    return 1.0
+
+
+def _node_rank(node: Node):
+    return (str(type(node).__name__), repr(node))
+
+
+def dijkstra(
+    topo: Topology,
+    source: Node,
+    weight: Optional[WeightFn] = None,
+) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
+    """Single-source shortest distances and predecessors.
+
+    Parameters
+    ----------
+    weight:
+        Callable ``(u, v) -> cost``; defaults to hop count, the metric
+        used throughout the paper's evaluation.
+
+    Returns
+    -------
+    (distances, predecessors):
+        ``distances[n]`` is the cost from *source*; nodes unreachable
+        from *source* are absent.  ``predecessors[n]`` is the chosen
+        previous hop (deterministic tie-break).
+    """
+    if not topo.has_node(source):
+        raise RoutingError(f"unknown node: {source!r}")
+    weight = weight or _hop_weight
+    distances: Dict[Node, float] = {source: 0.0}
+    predecessors: Dict[Node, Node] = {}
+    visited = set()
+    frontier = [(0.0, _node_rank(source), source)]
+    while frontier:
+        dist, _, node = heapq.heappop(frontier)
+        if node in visited:
+            continue
+        visited.add(node)
+        for neighbour in topo.neighbors(node):
+            if neighbour in visited:
+                continue
+            cost = weight(node, neighbour)
+            if cost < 0:
+                raise RoutingError(f"negative link weight on {node!r} -- {neighbour!r}")
+            candidate = dist + cost
+            best = distances.get(neighbour)
+            if (
+                best is None
+                or candidate < best - 1e-12
+                or (
+                    abs(candidate - best) <= 1e-12
+                    and _node_rank(node) < _node_rank(predecessors[neighbour])
+                )
+            ):
+                distances[neighbour] = candidate
+                predecessors[neighbour] = node
+                heapq.heappush(frontier, (candidate, _node_rank(neighbour), neighbour))
+    return distances, predecessors
+
+
+def shortest_path(
+    topo: Topology,
+    source: Node,
+    destination: Node,
+    weight: Optional[WeightFn] = None,
+) -> Path:
+    """The deterministic shortest path from *source* to *destination*.
+
+    Raises :class:`NoPathError` when the nodes are disconnected.
+    """
+    if not topo.has_node(destination):
+        raise RoutingError(f"unknown node: {destination!r}")
+    distances, predecessors = dijkstra(topo, source, weight)
+    if destination not in distances:
+        raise NoPathError(source, destination)
+    path = [destination]
+    while path[-1] != source:
+        path.append(predecessors[path[-1]])
+    path.reverse()
+    return tuple(path)
+
+
+def shortest_path_length(
+    topo: Topology,
+    source: Node,
+    destination: Node,
+    weight: Optional[WeightFn] = None,
+) -> float:
+    """Cost of the shortest path (hops by default)."""
+    distances, _ = dijkstra(topo, source, weight)
+    if destination not in distances:
+        raise NoPathError(source, destination)
+    return distances[destination]
+
+
+def all_pairs_hop_counts(topo: Topology) -> Dict[Node, Dict[Node, int]]:
+    """Hop distance between every pair of nodes (BFS per node)."""
+    result: Dict[Node, Dict[Node, int]] = {}
+    for source in topo.nodes():
+        distances, _ = dijkstra(topo, source)
+        result[source] = {node: int(dist) for node, dist in distances.items()}
+    return result
+
+
+def iter_sp_next_hops(
+    topo: Topology, destination: Node
+) -> Iterator[Tuple[Node, Node]]:
+    """Yield ``(node, next_hop)`` pairs of the SP tree toward *destination*.
+
+    Used to build FIBs for the chunk-level simulator: for every node
+    that can reach *destination*, the deterministic next hop on its
+    shortest path.
+    """
+    distances, predecessors = dijkstra(topo, destination)
+    for node in distances:
+        if node == destination:
+            continue
+        # Predecessor in the tree rooted at `destination` is the next hop.
+        yield node, predecessors[node]

@@ -1,0 +1,76 @@
+"""Hand-built topologies used by the paper's examples and our tests."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.topology.graph import DEFAULT_DELAY_S, Topology
+from repro.units import mbps
+
+
+def fig3_topology(delay: float = DEFAULT_DELAY_S) -> Topology:
+    """The exact topology of the paper's Fig. 3 worked example.
+
+    Nodes 1..5; link capacities as in the figure:
+
+    - ``1 -- 2`` : 10 Mbps (shared access link),
+    - ``2 -- 4`` : 2 Mbps (the bottleneck),
+    - ``2 -- 3`` and ``3 -- 4`` : 3 Mbps each (the detour through
+      node 3, which "can accommodate the extra 3 Mbps"),
+    - ``2 -- 5`` : 10 Mbps (the uncongested path of the second flow).
+
+    Flow A runs 1 → 4, flow B runs 1 → 5.  Under e2e flow control the
+    throughputs are (2, 8) Mbps → Jain 0.73; under INRPP both flows get
+    5 Mbps → Jain 1.0.
+    """
+    topo = Topology("fig3")
+    topo.add_link(1, 2, capacity=mbps(10), delay=delay)
+    topo.add_link(2, 4, capacity=mbps(2), delay=delay)
+    topo.add_link(2, 3, capacity=mbps(3), delay=delay)
+    topo.add_link(3, 4, capacity=mbps(3), delay=delay)
+    topo.add_link(2, 5, capacity=mbps(10), delay=delay)
+    return topo
+
+
+def line_topology(
+    num_nodes: int, capacity: float = mbps(10), delay: float = DEFAULT_DELAY_S
+) -> Topology:
+    """A chain ``0 -- 1 -- ... -- n-1`` (every link is a bridge)."""
+    if num_nodes < 2:
+        raise ConfigurationError(f"need >= 2 nodes, got {num_nodes}")
+    topo = Topology(f"line-{num_nodes}")
+    for node in range(num_nodes - 1):
+        topo.add_link(node, node + 1, capacity=capacity, delay=delay)
+    return topo
+
+
+def star_topology(
+    num_leaves: int, capacity: float = mbps(10), delay: float = DEFAULT_DELAY_S
+) -> Topology:
+    """A hub (node 0) with *num_leaves* leaves (all links bridges)."""
+    if num_leaves < 1:
+        raise ConfigurationError(f"need >= 1 leaf, got {num_leaves}")
+    topo = Topology(f"star-{num_leaves}")
+    for leaf in range(1, num_leaves + 1):
+        topo.add_link(0, leaf, capacity=capacity, delay=delay)
+    return topo
+
+
+def dumbbell_topology(
+    pairs: int,
+    bottleneck_capacity: float = mbps(10),
+    access_capacity: float = mbps(100),
+    delay: float = DEFAULT_DELAY_S,
+) -> Topology:
+    """Classic dumbbell: *pairs* senders and receivers share one link.
+
+    Senders are ``s0..s{n-1}``, receivers ``r0..r{n-1}``; the shared
+    link runs ``L -- R``.
+    """
+    if pairs < 1:
+        raise ConfigurationError(f"need >= 1 pair, got {pairs}")
+    topo = Topology(f"dumbbell-{pairs}")
+    topo.add_link("L", "R", capacity=bottleneck_capacity, delay=delay)
+    for index in range(pairs):
+        topo.add_link(f"s{index}", "L", capacity=access_capacity, delay=delay)
+        topo.add_link("R", f"r{index}", capacity=access_capacity, delay=delay)
+    return topo

@@ -1,0 +1,58 @@
+"""Capacity assignment models.
+
+The paper's flow-level evaluation uses homogeneous core capacities
+("we do not consider bottlenecks at the edges of the network"); the
+discussion in Section 2.2 also motivates core/edge splits.  These
+helpers mutate a topology in place and return it for chaining.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.topology.graph import Topology
+
+
+def assign_uniform_capacity(topo: Topology, capacity: float) -> Topology:
+    """Set every link to *capacity* bits/s."""
+    if capacity <= 0:
+        raise ConfigurationError(f"capacity must be positive, got {capacity!r}")
+    for u, v in topo.links():
+        topo.set_capacity(u, v, capacity)
+    return topo
+
+
+def assign_degree_capacity(
+    topo: Topology, base_capacity: float, exponent: float = 0.5
+) -> Topology:
+    """Scale link capacity with endpoint degrees.
+
+    Capacity of link ``(u, v)`` is
+    ``base * (deg(u) * deg(v)) ** exponent`` — a common heuristic for
+    ISP maps where high-degree core routers connect over fatter pipes.
+    """
+    if base_capacity <= 0:
+        raise ConfigurationError(f"capacity must be positive, got {base_capacity!r}")
+    for u, v in topo.links():
+        scale = (topo.degree(u) * topo.degree(v)) ** exponent
+        topo.set_capacity(u, v, base_capacity * max(scale, 1.0))
+    return topo
+
+
+def assign_core_edge_capacity(
+    topo: Topology, core_capacity: float, edge_capacity: float
+) -> Topology:
+    """Give links that touch a leaf node *edge_capacity*, others core.
+
+    Models the "ISPs move the bottleneck to the edge" practice the
+    paper discusses in Section 2.2.
+    """
+    if core_capacity <= 0 or edge_capacity <= 0:
+        raise ConfigurationError("capacities must be positive")
+    for u, v in topo.links():
+        if topo.degree(u) == 1 or topo.degree(v) == 1:
+            topo.set_capacity(u, v, edge_capacity)
+        else:
+            topo.set_capacity(u, v, core_capacity)
+    return topo

@@ -1,0 +1,243 @@
+"""Capacitated undirected topology model.
+
+:class:`Topology` wraps a :class:`networkx.Graph` and enforces the
+library-wide conventions: capacities in bits/s, delays in seconds and a
+routing weight per link (1.0 by default, i.e. hop-count routing as in
+the paper's flow-level evaluation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.errors import TopologyError
+
+Node = Hashable
+Link = Tuple[Node, Node]
+
+#: Default link capacity when none is given: 10 Mbps, the shared-link
+#: rate of the paper's Fig. 3 example.
+DEFAULT_CAPACITY_BPS = 10e6
+
+#: Default one-way propagation delay (1 ms).
+DEFAULT_DELAY_S = 1e-3
+
+
+def link_key(u: Node, v: Node) -> Link:
+    """Return the canonical (order-independent) identifier of a link.
+
+    Nodes of mixed or unorderable types are ordered by their ``repr``,
+    which is stable within a process and good enough for dictionary
+    keys.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class Topology:
+    """An undirected capacitated network topology.
+
+    Parameters
+    ----------
+    name:
+        Human-readable topology name, used in reports.
+
+    Notes
+    -----
+    Links are undirected but full-duplex: a link with capacity ``c``
+    offers ``c`` bits/s *in each direction* (the standard convention in
+    flow-level network simulation and what the paper's Fig. 3 arithmetic
+    assumes).
+    """
+
+    def __init__(self, name: str = "topology"):
+        self.name = name
+        self._graph = nx.Graph()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> Node:
+        """Add *node* (idempotent) and return it."""
+        self._graph.add_node(node)
+        return node
+
+    def add_link(
+        self,
+        u: Node,
+        v: Node,
+        capacity: float = DEFAULT_CAPACITY_BPS,
+        delay: float = DEFAULT_DELAY_S,
+        weight: float = 1.0,
+    ) -> Link:
+        """Add an undirected link between *u* and *v*.
+
+        Raises
+        ------
+        TopologyError
+            If the link is a self-loop, a duplicate, or has a
+            non-positive capacity.
+        """
+        if u == v:
+            raise TopologyError(f"self-loop not allowed: {u!r}")
+        if self._graph.has_edge(u, v):
+            raise TopologyError(f"duplicate link: {u!r} -- {v!r}")
+        if capacity <= 0:
+            raise TopologyError(f"capacity must be positive, got {capacity!r}")
+        if delay < 0:
+            raise TopologyError(f"delay must be non-negative, got {delay!r}")
+        self._graph.add_edge(u, v, capacity=float(capacity), delay=float(delay), weight=float(weight))
+        return link_key(u, v)
+
+    def remove_link(self, u: Node, v: Node) -> None:
+        """Remove the link between *u* and *v*."""
+        self._require_link(u, v)
+        self._graph.remove_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._graph.number_of_nodes()
+
+    @property
+    def num_links(self) -> int:
+        return self._graph.number_of_edges()
+
+    def nodes(self) -> List[Node]:
+        """All nodes, in insertion order."""
+        return list(self._graph.nodes())
+
+    def links(self) -> List[Link]:
+        """All links as canonical ``(u, v)`` tuples."""
+        return [link_key(u, v) for u, v in self._graph.edges()]
+
+    def directed_links(self) -> Iterator[Link]:
+        """Both orientations of every link (for per-direction state)."""
+        for u, v in self._graph.edges():
+            yield (u, v)
+            yield (v, u)
+
+    def has_node(self, node: Node) -> bool:
+        return self._graph.has_node(node)
+
+    def has_link(self, u: Node, v: Node) -> bool:
+        return self._graph.has_edge(u, v)
+
+    def neighbors(self, node: Node) -> List[Node]:
+        if not self._graph.has_node(node):
+            raise TopologyError(f"unknown node: {node!r}")
+        return list(self._graph.neighbors(node))
+
+    def degree(self, node: Node) -> int:
+        if not self._graph.has_node(node):
+            raise TopologyError(f"unknown node: {node!r}")
+        return int(self._graph.degree(node))
+
+    def capacity(self, u: Node, v: Node) -> float:
+        """Capacity of link ``(u, v)`` in bits/s."""
+        return float(self._link_attr(u, v, "capacity"))
+
+    def delay(self, u: Node, v: Node) -> float:
+        """One-way propagation delay of link ``(u, v)`` in seconds."""
+        return float(self._link_attr(u, v, "delay"))
+
+    def weight(self, u: Node, v: Node) -> float:
+        """Routing weight of link ``(u, v)``."""
+        return float(self._link_attr(u, v, "weight"))
+
+    def set_capacity(self, u: Node, v: Node, capacity: float) -> None:
+        if capacity <= 0:
+            raise TopologyError(f"capacity must be positive, got {capacity!r}")
+        self._require_link(u, v)
+        self._graph.edges[u, v]["capacity"] = float(capacity)
+
+    def set_delay(self, u: Node, v: Node, delay: float) -> None:
+        if delay < 0:
+            raise TopologyError(f"delay must be non-negative, got {delay!r}")
+        self._require_link(u, v)
+        self._graph.edges[u, v]["delay"] = float(delay)
+
+    def total_capacity(self) -> float:
+        """Sum of all link capacities (one direction), bits/s."""
+        return sum(data["capacity"] for _, _, data in self._graph.edges(data=True))
+
+    def is_connected(self) -> bool:
+        if self.num_nodes == 0:
+            return True
+        return nx.is_connected(self._graph)
+
+    def is_bridge(self, u: Node, v: Node) -> bool:
+        """True if removing link ``(u, v)`` disconnects *u* from *v*."""
+        self._require_link(u, v)
+        self._graph.remove_edge(u, v)
+        try:
+            return not nx.has_path(self._graph, u, v)
+        finally:
+            self._graph.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "Topology":
+        clone = Topology(name or self.name)
+        clone._graph = self._graph.copy()
+        return clone
+
+    def without_link(self, u: Node, v: Node) -> "Topology":
+        """A copy of the topology with link ``(u, v)`` removed."""
+        clone = self.copy(f"{self.name}-without-{u}-{v}")
+        clone.remove_link(u, v)
+        return clone
+
+    def to_networkx(self) -> nx.Graph:
+        """A defensive copy of the underlying :class:`networkx.Graph`."""
+        return self._graph.copy()
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The live underlying graph (read-only use by routing code)."""
+        return self._graph
+
+    @classmethod
+    def from_links(
+        cls,
+        links: Iterable[Tuple[Node, Node]],
+        name: str = "topology",
+        capacity: float = DEFAULT_CAPACITY_BPS,
+        delay: float = DEFAULT_DELAY_S,
+    ) -> "Topology":
+        """Build a topology from an iterable of ``(u, v)`` pairs."""
+        topo = cls(name)
+        for u, v in links:
+            topo.add_link(u, v, capacity=capacity, delay=delay)
+        return topo
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _require_link(self, u: Node, v: Node) -> None:
+        if not self._graph.has_edge(u, v):
+            raise TopologyError(f"unknown link: {u!r} -- {v!r}")
+
+    def _link_attr(self, u: Node, v: Node, attr: str):
+        self._require_link(u, v)
+        return self._graph.edges[u, v][attr]
+
+    def __contains__(self, node: Node) -> bool:
+        return self._graph.has_node(node)
+
+    def __repr__(self) -> str:
+        return f"Topology({self.name!r}, nodes={self.num_nodes}, links={self.num_links})"
+
+    def link_capacities(self) -> Dict[Link, float]:
+        """Mapping of canonical link -> capacity (bits/s)."""
+        return {
+            link_key(u, v): float(data["capacity"])
+            for u, v, data in self._graph.edges(data=True)
+        }

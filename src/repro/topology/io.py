@@ -1,0 +1,125 @@
+"""Topology serialisation: JSON documents and edge-list text.
+
+Lets users persist calibrated ISP maps (so experiment suites do not
+regenerate them) and import their own topologies into the simulators.
+
+JSON schema::
+
+    {"name": "...",
+     "nodes": [...],
+     "links": [{"u": ..., "v": ..., "capacity": bps,
+                "delay": s, "weight": w}, ...]}
+
+The edge-list format is one ``u v capacity_bps delay_s`` per line with
+``#`` comments, a superset of the common research-dataset layout.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import TopologyError
+from repro.topology.graph import DEFAULT_CAPACITY_BPS, DEFAULT_DELAY_S, Topology
+
+PathLike = Union[str, Path]
+
+
+def topology_to_dict(topo: Topology) -> dict:
+    """Serialise *topo* into a JSON-compatible dictionary."""
+    return {
+        "name": topo.name,
+        "nodes": topo.nodes(),
+        "links": [
+            {
+                "u": u,
+                "v": v,
+                "capacity": topo.capacity(u, v),
+                "delay": topo.delay(u, v),
+                "weight": topo.weight(u, v),
+            }
+            for u, v in topo.links()
+        ],
+    }
+
+
+def topology_from_dict(document: dict) -> Topology:
+    """Rebuild a topology from :func:`topology_to_dict` output."""
+    if "links" not in document:
+        raise TopologyError("topology document has no 'links' field")
+    topo = Topology(document.get("name", "topology"))
+    for node in document.get("nodes", []):
+        topo.add_node(_freeze(node))
+    for link in document["links"]:
+        try:
+            topo.add_link(
+                _freeze(link["u"]),
+                _freeze(link["v"]),
+                capacity=float(link.get("capacity", DEFAULT_CAPACITY_BPS)),
+                delay=float(link.get("delay", DEFAULT_DELAY_S)),
+                weight=float(link.get("weight", 1.0)),
+            )
+        except KeyError as missing:
+            raise TopologyError(f"link record missing field {missing}") from None
+    return topo
+
+
+def _freeze(node):
+    """JSON round-trips tuples into lists; restore hashability."""
+    if isinstance(node, list):
+        return tuple(_freeze(item) for item in node)
+    return node
+
+
+def save_topology(topo: Topology, path: PathLike) -> None:
+    """Write *topo* as a JSON document."""
+    Path(path).write_text(json.dumps(topology_to_dict(topo), indent=2))
+
+
+def load_topology(path: PathLike) -> Topology:
+    """Read a topology JSON document."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise TopologyError(f"invalid topology JSON in {path}: {error}") from None
+    return topology_from_dict(document)
+
+
+def topology_to_edge_list(topo: Topology) -> str:
+    """Render *topo* as ``u v capacity delay`` lines."""
+    lines = [f"# topology: {topo.name}", "# u v capacity_bps delay_s"]
+    for u, v in topo.links():
+        lines.append(f"{u} {v} {topo.capacity(u, v):.6g} {topo.delay(u, v):.6g}")
+    return "\n".join(lines) + "\n"
+
+
+def topology_from_edge_list(text: str, name: str = "edge-list") -> Topology:
+    """Parse an edge-list document (see module docstring).
+
+    Node tokens that look like integers become ints; everything else
+    stays a string.
+    """
+    topo = Topology(name)
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        if len(fields) < 2:
+            raise TopologyError(f"line {line_number}: need at least 'u v'")
+        u, v = (_node_token(tok) for tok in fields[:2])
+        capacity = float(fields[2]) if len(fields) > 2 else DEFAULT_CAPACITY_BPS
+        delay = float(fields[3]) if len(fields) > 3 else DEFAULT_DELAY_S
+        try:
+            topo.add_link(u, v, capacity=capacity, delay=delay)
+        except TopologyError as error:
+            raise TopologyError(f"line {line_number}: {error}") from None
+    return topo
+
+
+def _node_token(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token

@@ -1,0 +1,182 @@
+"""Flow workloads: endpoint selection and full flow schedules.
+
+A :class:`FlowWorkload` combines an arrival process, a size
+distribution and an endpoint sampler into the concrete list of
+:class:`FlowSpec` records consumed by the flow-level simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.rng import SeedLike, make_rng
+from repro.topology.graph import Node, Topology
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.sizes import ExponentialSize, SizeDistribution
+
+PairSampler = Callable[[], Tuple[Node, Node]]
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One flow to inject into a simulator."""
+
+    flow_id: int
+    source: Node
+    destination: Node
+    arrival_time: float
+    size_bits: float
+    #: Access-rate cap in bits/s (the sender cannot exceed this).
+    demand_bps: float
+
+
+def uniform_pairs(topo: Topology, seed: SeedLike = None) -> PairSampler:
+    """Sampler drawing distinct (source, destination) uniformly."""
+    nodes = topo.nodes()
+    if len(nodes) < 2:
+        raise WorkloadError("need at least two nodes to build flows")
+    rng = make_rng(seed, "uniform-pairs")
+
+    def _sample() -> Tuple[Node, Node]:
+        i = int(rng.integers(0, len(nodes)))
+        j = int(rng.integers(0, len(nodes) - 1))
+        if j >= i:
+            j += 1
+        return nodes[i], nodes[j]
+
+    return _sample
+
+
+def local_pairs(
+    topo: Topology,
+    seed: SeedLike = None,
+    max_hops: int = 5,
+    min_degree: int = 2,
+) -> PairSampler:
+    """Sampler for locality-weighted core-to-core demands.
+
+    Draws a source uniformly among nodes with degree >= *min_degree*
+    and a destination uniformly among core nodes within 2..*max_hops*
+    hops — the intra-domain traffic-engineering picture of the paper
+    (leaf/pendant nodes are access tails, not transit endpoints).
+    """
+    if max_hops < 2:
+        raise WorkloadError(f"max_hops must be >= 2, got {max_hops}")
+    core = [node for node in topo.nodes() if topo.degree(node) >= min_degree]
+    if len(core) < 2:
+        raise WorkloadError("not enough core nodes for local pair sampling")
+    rng = make_rng(seed, "local-pairs")
+
+    def _candidates(source: Node) -> List[Node]:
+        from collections import deque
+
+        seen = {source: 0}
+        queue = deque([source])
+        found: List[Node] = []
+        while queue:
+            node = queue.popleft()
+            if seen[node] >= max_hops:
+                continue
+            for neighbour in topo.neighbors(node):
+                if neighbour in seen:
+                    continue
+                seen[neighbour] = seen[node] + 1
+                queue.append(neighbour)
+                if seen[neighbour] >= 2 and topo.degree(neighbour) >= min_degree:
+                    found.append(neighbour)
+        return found
+
+    def _sample() -> Tuple[Node, Node]:
+        for _ in range(100):
+            source = core[int(rng.integers(0, len(core)))]
+            candidates = _candidates(source)
+            if candidates:
+                return source, candidates[int(rng.integers(0, len(candidates)))]
+        raise WorkloadError("could not find a local pair; topology too sparse")
+
+    return _sample
+
+
+def gravity_pairs(topo: Topology, seed: SeedLike = None) -> PairSampler:
+    """Sampler weighting endpoints by node degree (gravity model).
+
+    High-degree (core) nodes originate and sink proportionally more
+    flows, as in ISP traffic matrices.
+    """
+    nodes = topo.nodes()
+    if len(nodes) < 2:
+        raise WorkloadError("need at least two nodes to build flows")
+    rng = make_rng(seed, "gravity-pairs")
+    degrees = [max(topo.degree(node), 1) for node in nodes]
+    total = float(sum(degrees))
+    weights = [degree / total for degree in degrees]
+
+    def _sample() -> Tuple[Node, Node]:
+        while True:
+            i = int(rng.choice(len(nodes), p=weights))
+            j = int(rng.choice(len(nodes), p=weights))
+            if i != j:
+                return nodes[i], nodes[j]
+
+    return _sample
+
+
+class FlowWorkload:
+    """Generates a reproducible schedule of flows for a topology.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Poisson flow-arrival rate (flows/second) over the whole
+        network.
+    mean_size_bits:
+        Mean flow size; sizes are exponential unless *sizes* overrides.
+    demand_bps:
+        Per-flow access-rate cap ("senders insert more data if they
+        see extra available bandwidth" — the cap is what their access
+        link permits).
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        arrival_rate: float,
+        mean_size_bits: float,
+        demand_bps: float,
+        seed: SeedLike = 0,
+        sizes: Optional[SizeDistribution] = None,
+        pair_sampler: Optional[PairSampler] = None,
+    ):
+        if demand_bps <= 0:
+            raise WorkloadError(f"demand must be positive, got {demand_bps}")
+        self.topology = topo
+        base = make_rng(seed, "flow-workload")
+        self._arrivals = PoissonArrivals(arrival_rate, base)
+        self._sizes = sizes or ExponentialSize(mean_size_bits, base)
+        self._pairs = pair_sampler or uniform_pairs(topo, base)
+        self.demand_bps = float(demand_bps)
+
+    def generate(
+        self,
+        horizon: Optional[float] = None,
+        max_flows: Optional[int] = None,
+    ) -> List[FlowSpec]:
+        """Materialise the flow schedule (sorted by arrival time)."""
+        specs: List[FlowSpec] = []
+        for flow_id, arrival in enumerate(
+            self._arrivals.times(horizon=horizon, max_events=max_flows)
+        ):
+            source, destination = self._pairs()
+            specs.append(
+                FlowSpec(
+                    flow_id=flow_id,
+                    source=source,
+                    destination=destination,
+                    arrival_time=arrival,
+                    size_bits=self._sizes.sample(),
+                    demand_bps=self.demand_bps,
+                )
+            )
+        return specs

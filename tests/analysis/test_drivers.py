@@ -1,0 +1,68 @@
+"""Experiment driver tests (Table 1, Fig. 3, Fig. 4)."""
+
+import pytest
+
+from repro.analysis import run_fig4, run_table1
+from repro.analysis.fig3 import (
+    fig3_analytic_e2e,
+    fig3_analytic_inrpp,
+    run_fig3_simulation,
+)
+from repro.analysis.table1 import Table1Result
+
+
+def test_table1_subset_matches_paper():
+    result = run_table1(seed=0, isps=["vsnl", "telstra"])
+    assert len(result.rows) == 2
+    assert result.max_error <= 0.005
+    rendered = result.render()
+    assert "VSNL" in rendered and "Telstra" in rendered
+    comparisons = result.comparisons()
+    assert comparisons.max_relative_error() < 0.01
+
+
+def test_table1_row_fields():
+    result = run_table1(seed=0, isps=["vsnl"])
+    row = result.rows[0]
+    assert row.num_links == 12
+    assert sum(row.measured) == pytest.approx(100.0)
+
+
+def test_fig3_fluid_reproduces_paper_numbers():
+    e2e = fig3_analytic_e2e()
+    assert e2e.rate_bottlenecked_mbps == pytest.approx(2.0)
+    assert e2e.rate_clear_mbps == pytest.approx(8.0)
+    assert e2e.jain == pytest.approx(0.735, abs=0.001)
+    inrpp = fig3_analytic_inrpp()
+    assert inrpp.rate_bottlenecked_mbps == pytest.approx(5.0)
+    assert inrpp.rate_clear_mbps == pytest.approx(5.0)
+    assert inrpp.jain == pytest.approx(1.0)
+
+
+def test_fig3_comparison_tables():
+    table = fig3_analytic_e2e().comparisons()
+    rendered = table.render()
+    assert "Jain index" in rendered
+    assert table.max_relative_error() < 0.05
+
+
+def test_fig3_simulation_short_run():
+    result, network = run_fig3_simulation("inrpp", duration=6.0)
+    assert result.method == "chunk-sim"
+    assert result.rate_bottlenecked_mbps == pytest.approx(5.0, rel=0.15)
+    assert network.sim.now == 6.0
+
+
+def test_fig4_small_run_structure():
+    result = run_fig4(
+        isps=["telstra"],
+        strategies=["sp", "inrp"],
+        num_snapshots=2,
+        seed=1,
+    )
+    assert set(result.throughput["telstra"]) == {"sp", "inrp"}
+    assert result.gain_over_sp("telstra") > -0.5
+    assert "telstra" in result.inrp_results
+    assert "Fig. 4a" in result.render_fig4a()
+    assert "Fig. 4b" in result.render_fig4b()
+    assert "gain" in result.comparisons().render()

@@ -1,0 +1,64 @@
+"""ASCII reporting and comparison-record tests."""
+
+import pytest
+
+from repro.analysis import Comparison, ComparisonTable, ascii_bar_chart, ascii_cdf, ascii_table
+from repro.errors import AnalysisError
+
+
+def test_ascii_table_alignment():
+    out = ascii_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert len(lines) == 5
+
+
+def test_ascii_table_needs_headers():
+    with pytest.raises(AnalysisError):
+        ascii_table([], [])
+
+
+def test_bar_chart_scales_to_peak():
+    out = ascii_bar_chart(
+        {"telstra": {"SP": 0.5, "INRP": 1.0}}, width=10
+    )
+    lines = out.splitlines()
+    sp_line = next(l for l in lines if "SP" in l)
+    inrp_line = next(l for l in lines if "INRP" in l)
+    assert sp_line.count("#") == 5
+    assert inrp_line.count("#") == 10
+
+
+def test_bar_chart_empty_rejected():
+    with pytest.raises(AnalysisError):
+        ascii_bar_chart({})
+
+
+def test_ascii_cdf_samples_curves():
+    out = ascii_cdf(
+        {"x": ([1.0, 2.0], [0.5, 1.0])}, points=5, title="CDF"
+    )
+    lines = out.splitlines()
+    assert lines[0] == "CDF"
+    assert len(lines) == 2 + 5 + 1  # title + header + rule... adjusted below
+    # Last sampled row reaches probability 1.
+    assert lines[-1].split()[-1] == "1.000"
+
+
+def test_comparison_math():
+    comparison = Comparison("e", "s", paper_value=2.0, measured_value=2.2)
+    assert comparison.delta == pytest.approx(0.2)
+    assert comparison.relative_error == pytest.approx(0.1)
+    missing = Comparison("e", "s", paper_value=None, measured_value=1.0)
+    assert missing.delta is None and missing.relative_error is None
+
+
+def test_comparison_table_render_and_error():
+    table = ComparisonTable("exp")
+    table.add("a", 1.0, 1.05)
+    table.add("b", None, 3.0)
+    rendered = table.render()
+    assert "exp" in rendered and "paper" in rendered
+    assert table.max_relative_error() == pytest.approx(0.05)

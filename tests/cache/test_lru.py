@@ -1,0 +1,84 @@
+"""LRU content-store tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache import LruCache
+from repro.errors import CacheError
+
+
+def test_basic_put_get():
+    cache = LruCache(100)
+    cache.put("a", 40)
+    assert cache.get("a")
+    assert not cache.get("b")
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_eviction_is_lru_order():
+    evicted = []
+    cache = LruCache(100, on_evict=lambda key, size: evicted.append(key))
+    cache.put("a", 40)
+    cache.put("b", 40)
+    cache.get("a")       # refresh "a"; "b" is now least recent
+    cache.put("c", 40)   # overflows: "b" must go
+    assert evicted == ["b"]
+    assert "a" in cache and "c" in cache and "b" not in cache
+
+
+def test_byte_budget_respected():
+    cache = LruCache(100)
+    for key in range(20):
+        cache.put(key, 30)
+        assert cache.used_bytes <= 100
+
+
+def test_refresh_replaces_size():
+    cache = LruCache(100)
+    cache.put("a", 40)
+    cache.put("a", 70)
+    assert cache.used_bytes == 70
+    assert len(cache) == 1
+
+
+def test_oversized_object_not_cached():
+    cache = LruCache(100)
+    cache.put("big", 500)
+    assert "big" not in cache
+    assert cache.used_bytes == 0
+
+
+def test_zero_capacity_cache_holds_nothing():
+    cache = LruCache(0)
+    cache.put("a", 1)
+    assert "a" not in cache
+
+
+def test_clear():
+    cache = LruCache(100)
+    cache.put("a", 10)
+    cache.clear()
+    assert len(cache) == 0 and cache.used_bytes == 0
+
+
+def test_validation():
+    with pytest.raises(CacheError):
+        LruCache(-1)
+    cache = LruCache(10)
+    with pytest.raises(CacheError):
+        cache.put("a", -5)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=20), st.integers(min_value=0, max_value=50)),
+        max_size=200,
+    )
+)
+def test_lru_invariants(operations):
+    cache = LruCache(120)
+    for key, size in operations:
+        cache.put(key, size)
+        assert cache.used_bytes <= 120
+        assert cache.used_bytes >= 0
+        assert len(cache) <= 120  # items are >= 0 bytes each

@@ -1,0 +1,87 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.chunksim import Simulator
+from repro.errors import SimulationError
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, lambda: fired.append("c"))
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.run(until=10.0)
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 10.0
+
+
+def test_simultaneous_events_fifo():
+    sim = Simulator()
+    fired = []
+    for label in ("first", "second", "third"):
+        sim.schedule(1.0, lambda l=label: fired.append(l))
+    sim.run(until=2.0)
+    assert fired == ["first", "second", "third"]
+
+
+def test_cancellation():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append("x"))
+    event.cancel()
+    sim.run(until=2.0)
+    assert fired == []
+
+
+def test_nested_scheduling_from_callback():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append(("outer", sim.now))
+        sim.schedule(0.5, lambda: fired.append(("inner", sim.now)))
+
+    sim.schedule(1.0, outer)
+    sim.run(until=2.0)
+    assert fired == [("outer", 1.0), ("inner", 1.5)]
+
+
+def test_run_until_boundary_inclusive():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append("at-boundary"))
+    sim.run(until=1.0)
+    assert fired == ["at-boundary"]
+
+
+def test_partial_run_then_resume():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append("early"))
+    sim.schedule(5.0, lambda: fired.append("late"))
+    sim.run(until=2.0)
+    assert fired == ["early"]
+    sim.run(until=6.0)
+    assert fired == ["early", "late"]
+
+
+def test_errors():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+    sim.run(until=5.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0)
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def rearm():
+        sim.schedule(0.001, rearm)
+
+    sim.schedule(0.0, rearm)
+    with pytest.raises(SimulationError):
+        sim.run(until=100.0, max_events=50)

@@ -1,0 +1,126 @@
+"""INRP fluid allocator tests (progressive filling with detours)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flowsim import inrp_allocation
+from repro.routing import DetourTable, shortest_path
+from repro.routing.paths import path_links
+from repro.topology import fig3_topology, mesh_topology
+from repro.units import mbps
+from repro.workloads import uniform_pairs
+
+
+def _fig3_instance():
+    topo = fig3_topology()
+    flow_paths = {
+        1: shortest_path(topo, 1, 4),
+        2: shortest_path(topo, 1, 5),
+    }
+    demands = {1: mbps(10), 2: mbps(10)}
+    return topo, flow_paths, demands
+
+
+def test_fig3_global_fairness():
+    # The paper's Fig. 3 right: both flows get 5 Mbps; the bottlenecked
+    # flow carries 2 direct + 3 via the node-3 detour.
+    topo, flow_paths, demands = _fig3_instance()
+    table = DetourTable(topo, max_intermediate=1)
+    result = inrp_allocation(topo.link_capacities(), flow_paths, demands, table)
+    assert result.rates[1] == pytest.approx(mbps(5))
+    assert result.rates[2] == pytest.approx(mbps(5))
+    split = dict((tuple(path), rate) for path, rate in result.splits[1])
+    assert split[(1, 2, 4)] == pytest.approx(mbps(2))
+    assert split[(1, 2, 3, 4)] == pytest.approx(mbps(3))
+    assert result.switches == 1
+
+
+def test_zero_replacements_degenerates_to_e2e():
+    topo, flow_paths, demands = _fig3_instance()
+    table = DetourTable(topo, max_intermediate=1)
+    result = inrp_allocation(
+        topo.link_capacities(), flow_paths, demands, table, max_replacements=0
+    )
+    assert result.rates[1] == pytest.approx(mbps(2))
+    assert result.rates[2] == pytest.approx(mbps(8))
+    assert result.freeze_reasons[1] == "no-detour"
+
+
+def test_stretch_metric():
+    topo, flow_paths, demands = _fig3_instance()
+    table = DetourTable(topo, max_intermediate=1)
+    result = inrp_allocation(topo.link_capacities(), flow_paths, demands, table)
+    # Flow 1: 2 Mbps over 2 hops + 3 Mbps over 3 hops vs primary 2 hops.
+    expected = (2 * 2 + 3 * 3) / (5 * 2)
+    assert result.stretch(1) == pytest.approx(expected)
+    assert result.stretch(2) == pytest.approx(1.0)
+
+
+def test_satisfied_flows_report_demand_reason():
+    topo = fig3_topology()
+    table = DetourTable(topo, max_intermediate=1)
+    result = inrp_allocation(
+        topo.link_capacities(),
+        {1: shortest_path(topo, 1, 5)},
+        {1: mbps(4)},
+        table,
+    )
+    assert result.rates[1] == pytest.approx(mbps(4))
+    assert result.freeze_reasons[1] == "demand"
+
+
+def test_trivial_flow_source_equals_destination():
+    topo = fig3_topology()
+    table = DetourTable(topo, max_intermediate=1)
+    result = inrp_allocation(
+        topo.link_capacities(), {1: (1,)}, {1: mbps(3)}, table
+    )
+    assert result.rates[1] == pytest.approx(mbps(3))
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    num_flows=st.integers(min_value=1, max_value=15),
+)
+def test_no_link_overloaded_and_splits_consistent(seed, num_flows):
+    """Properties: (1) the allocation never overloads any link,
+    (2) each flow's split rates sum to its total, (3) no flow exceeds
+    its demand, (4) the worst-off flow never does worse than under e2e
+    max-min.  (Aggregate throughput is deliberately NOT asserted:
+    detoured bits consume extra link capacity — the stretch of
+    Fig. 4b — so under saturation INRP may trade a little aggregate
+    for its global fairness.)"""
+    topo = mesh_topology(12, extra_links=10, seed=seed, capacity=10.0)
+    sampler = uniform_pairs(topo, seed=seed + 13)
+    flow_paths = {}
+    for flow_id in range(num_flows):
+        src, dst = sampler()
+        flow_paths[flow_id] = shortest_path(topo, src, dst)
+    demands = {flow_id: 8.0 for flow_id in flow_paths}
+    capacities = topo.link_capacities()
+    table = DetourTable(topo, max_intermediate=2)
+    result = inrp_allocation(capacities, flow_paths, demands, table)
+
+    load = {link: 0.0 for link in capacities}
+    for flow_id, splits in result.splits.items():
+        total = 0.0
+        for path, rate in splits:
+            total += rate
+            for link in path_links(path):
+                load[link] += rate
+        assert total == pytest.approx(result.rates[flow_id], abs=1e-6)
+        assert result.rates[flow_id] <= demands[flow_id] + 1e-6
+    for link, used in load.items():
+        assert used <= capacities[link] + 1e-5, f"link {link} overloaded"
+
+    from repro.flowsim import max_min_allocation
+
+    e2e = max_min_allocation(
+        capacities,
+        {fid: path_links(path) for fid, path in flow_paths.items()},
+        demands,
+    )
+    # Local stability / global fairness: pooling never hurts the
+    # most-starved flow.
+    assert min(result.rates.values()) >= min(e2e.values()) - 1e-6

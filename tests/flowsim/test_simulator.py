@@ -1,0 +1,110 @@
+"""Event-driven flow-level simulator tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.flowsim import FlowLevelSimulator, make_strategy
+from repro.topology import Topology, fig3_topology, line_topology
+from repro.units import mbps
+from repro.workloads import FlowSpec
+
+
+def _spec(flow_id, src, dst, t, size_bits, demand=mbps(10)):
+    return FlowSpec(flow_id, src, dst, t, size_bits, demand)
+
+
+def test_single_flow_completion_time_exact():
+    topo = line_topology(3, capacity=mbps(10))
+    strategy = make_strategy("sp", topo)
+    # 10 Mbit at 10 Mbps -> exactly 1 second.
+    sim = FlowLevelSimulator(topo, strategy, [_spec(1, 0, 2, 0.0, 10e6)])
+    result = sim.run()
+    record = result.records[0]
+    assert record.completed
+    assert record.fct == pytest.approx(1.0)
+    assert record.delivered_bits == pytest.approx(10e6)
+    assert record.stretch == pytest.approx(1.0)
+
+
+def test_two_flows_share_then_speed_up():
+    # Two equal flows sharing a 10 Mbps link: each runs at 5 Mbps until
+    # the first finishes, after which the survivor gets the full rate.
+    topo = line_topology(2, capacity=mbps(10))
+    specs = [
+        _spec(1, 0, 1, 0.0, 5e6),
+        _spec(2, 0, 1, 0.0, 10e6),
+    ]
+    strategy = make_strategy("sp", topo)
+    result = FlowLevelSimulator(topo, strategy, specs).run()
+    fct = {record.flow_id: record.fct for record in result.records}
+    # Flow 1: 5 Mbit at 5 Mbps = 1 s.  Flow 2: 5 Mbit at 5 Mbps, then
+    # 5 Mbit at 10 Mbps = 1.5 s total.
+    assert fct[1] == pytest.approx(1.0)
+    assert fct[2] == pytest.approx(1.5)
+
+
+def test_staggered_arrival():
+    topo = line_topology(2, capacity=mbps(10))
+    specs = [
+        _spec(1, 0, 1, 0.0, 10e6),
+        _spec(2, 0, 1, 2.0, 10e6),  # arrives after flow 1 finished
+    ]
+    strategy = make_strategy("sp", topo)
+    result = FlowLevelSimulator(topo, strategy, specs).run()
+    fct = {record.flow_id: record.fct for record in result.records}
+    assert fct[1] == pytest.approx(1.0)
+    assert fct[2] == pytest.approx(1.0)
+
+
+def test_horizon_reports_unfinished():
+    topo = line_topology(2, capacity=mbps(1))
+    specs = [_spec(1, 0, 1, 0.0, 100e6)]  # would need 100 s
+    strategy = make_strategy("sp", topo)
+    result = FlowLevelSimulator(topo, strategy, specs, horizon=1.0).run()
+    assert result.unfinished == 1
+    record = result.records[0]
+    assert not record.completed
+    assert record.delivered_bits == pytest.approx(1e6, rel=0.01)
+
+
+def test_throughput_ratio_bounded():
+    topo = fig3_topology()
+    specs = [
+        _spec(1, 1, 4, 0.0, 4e6),
+        _spec(2, 1, 5, 0.0, 16e6),
+    ]
+    strategy = make_strategy("sp", topo)
+    result = FlowLevelSimulator(topo, strategy, specs).run()
+    assert 0.0 < result.network_throughput <= 1.0
+    assert result.allocations >= 1
+
+
+def test_inrp_completes_faster_on_fig3():
+    # The paper expects the throughput gain "to translate to faster
+    # flow completion time by the same proportion".
+    topo = fig3_topology()
+    specs = [
+        _spec(1, 1, 4, 0.0, 10e6),
+        _spec(2, 1, 5, 0.0, 10e6),
+    ]
+    sp_result = FlowLevelSimulator(topo, make_strategy("sp", topo), specs).run()
+    inrp_result = FlowLevelSimulator(topo, make_strategy("inrp", topo), specs).run()
+    sp_fct = sp_result.records[0].fct
+    inrp_fct = inrp_result.records[0].fct
+    assert inrp_fct < sp_fct  # 10 Mbit at 5 Mbps vs 2 Mbps
+
+
+def test_invalid_horizon():
+    topo = line_topology(2)
+    with pytest.raises(SimulationError):
+        FlowLevelSimulator(topo, make_strategy("sp", topo), [], horizon=0.0)
+
+
+def test_mean_fct_and_stretch_helpers():
+    topo = fig3_topology()
+    specs = [_spec(1, 1, 4, 0.0, 2e6), _spec(2, 1, 5, 0.0, 2e6)]
+    result = FlowLevelSimulator(topo, make_strategy("inrp", topo), specs).run()
+    assert result.mean_fct() is not None
+    samples = result.stretch_samples()
+    assert len(samples) == 2
+    assert all(s >= 1.0 for s in samples)

@@ -1,0 +1,74 @@
+"""Snapshot experiment tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.flowsim import make_strategy, snapshot_experiment
+from repro.topology import build_isp_topology, mesh_topology
+from repro.units import mbps
+from repro.workloads import local_pairs
+
+
+@pytest.fixture(scope="module")
+def small_topo():
+    return mesh_topology(30, extra_links=25, seed=3)
+
+
+def test_throughput_in_unit_interval(small_topo):
+    strategy = make_strategy("sp", small_topo)
+    result = snapshot_experiment(
+        small_topo, strategy, num_flows=10, demand_bps=mbps(10), num_snapshots=3
+    )
+    assert len(result.throughputs) == 3
+    assert all(0.0 < t <= 1.0 + 1e-9 for t in result.throughputs)
+    assert result.mean_throughput > 0
+
+
+def test_reproducible_with_seed(small_topo):
+    def run():
+        strategy = make_strategy("sp", small_topo)
+        return snapshot_experiment(
+            small_topo, strategy, num_flows=8, demand_bps=mbps(5),
+            num_snapshots=2, seed=11,
+        ).throughputs
+
+    assert run() == run()
+
+
+def test_inrp_collects_stretch_and_switches(small_topo):
+    strategy = make_strategy("inrp", small_topo)
+    result = snapshot_experiment(
+        small_topo, strategy, num_flows=15, demand_bps=mbps(10),
+        num_snapshots=3, seed=5,
+        pair_sampler=local_pairs(small_topo, seed=5),
+    )
+    assert result.stretch_values
+    assert len(result.stretch_values) == len(result.stretch_weights)
+    cdf = result.stretch_cdf()
+    assert cdf.min >= 1.0 - 1e-9
+    assert result.switches >= 0
+
+
+def test_validation(small_topo):
+    strategy = make_strategy("sp", small_topo)
+    with pytest.raises(ConfigurationError):
+        snapshot_experiment(small_topo, strategy, num_flows=0, demand_bps=1.0)
+    with pytest.raises(ConfigurationError):
+        snapshot_experiment(
+            small_topo, strategy, num_flows=1, demand_bps=1.0, num_snapshots=0
+        )
+
+
+def test_inrp_beats_sp_on_isp_map():
+    # A small-scale version of Fig. 4a's headline comparison.
+    topo = build_isp_topology("telstra", seed=0)
+    sampler = local_pairs(topo, seed=9)
+    outcomes = {}
+    for name in ("sp", "inrp"):
+        strategy = make_strategy(name, topo)
+        outcomes[name] = snapshot_experiment(
+            topo, strategy, num_flows=topo.num_nodes // 12,
+            demand_bps=mbps(10), num_snapshots=3, seed=9,
+            pair_sampler=sampler,
+        ).mean_throughput
+    assert outcomes["inrp"] > outcomes["sp"]

@@ -1,0 +1,85 @@
+"""Strategy object tests (SP / ECMP / INRP)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.flowsim import make_strategy
+from repro.topology import Topology, fig3_topology
+from repro.units import mbps
+
+
+def test_factory_names():
+    topo = fig3_topology()
+    assert make_strategy("sp", topo).name == "SP"
+    assert make_strategy("ECMP", topo).name == "ECMP"
+    assert make_strategy("inrp", topo).name == "INRP"
+    assert make_strategy("urp", topo).name == "INRP"  # paper's legend label
+    with pytest.raises(ConfigurationError):
+        make_strategy("ospf", topo)
+
+
+def test_sp_allocation_matches_paper():
+    topo = fig3_topology()
+    strategy = make_strategy("sp", topo)
+    flows = {
+        1: (strategy.route(1, 1, 4), mbps(10)),
+        2: (strategy.route(2, 1, 5), mbps(10)),
+    }
+    outcome = strategy.allocate(flows)
+    assert outcome.rates[1] == pytest.approx(mbps(2))
+    assert outcome.rates[2] == pytest.approx(mbps(8))
+    assert outcome.switches == 0
+
+
+def test_inrp_allocation_matches_paper():
+    topo = fig3_topology()
+    strategy = make_strategy("inrp", topo)
+    flows = {
+        1: (strategy.route(1, 1, 4), mbps(10)),
+        2: (strategy.route(2, 1, 5), mbps(10)),
+    }
+    outcome = strategy.allocate(flows)
+    assert outcome.rates[1] == pytest.approx(mbps(5))
+    assert outcome.rates[2] == pytest.approx(mbps(5))
+    assert outcome.switches >= 1
+
+
+def test_inrp_backpressured_flows_reported():
+    # Line with a hard bottleneck and no detour: the flow freezes with
+    # "no-detour", i.e. the fluid equivalent of back-pressure.
+    topo = Topology.from_links([(0, 1), (1, 2)], capacity=mbps(2))
+    topo.set_capacity(0, 1, mbps(10))
+    strategy = make_strategy("inrp", topo)
+    flows = {1: (strategy.route(1, 0, 2), mbps(10))}
+    outcome = strategy.allocate(flows)
+    assert outcome.rates[1] == pytest.approx(mbps(2))
+    assert outcome.backpressured == [1]
+
+
+def test_ecmp_spreads_flows_on_square():
+    topo = Topology.from_links([(0, 1), (1, 2), (2, 3), (3, 0)])
+    strategy = make_strategy("ecmp", topo)
+    routes = {strategy.route(fid, 0, 2) for fid in range(40)}
+    assert routes == {(0, 1, 2), (0, 3, 2)}
+
+
+def test_sp_route_is_cached_and_deterministic():
+    topo = fig3_topology()
+    strategy = make_strategy("sp", topo)
+    assert strategy.route(1, 1, 4) is strategy.route(2, 1, 4)
+
+
+def test_inrp_depth_zero_equals_sp():
+    topo = fig3_topology()
+    sp = make_strategy("sp", topo)
+    inrp0 = make_strategy("inrp", topo, detour_depth=0)
+    flows = {
+        1: (sp.route(1, 1, 4), mbps(10)),
+        2: (sp.route(2, 1, 5), mbps(10)),
+    }
+    assert inrp0.allocate(flows).rates == pytest.approx(sp.allocate(flows).rates)
+
+
+def test_inrp_rejects_negative_depth():
+    with pytest.raises(ConfigurationError):
+        make_strategy("inrp", fig3_topology(), detour_depth=-1)

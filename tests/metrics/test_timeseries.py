@@ -1,0 +1,53 @@
+"""Time-weighted mean and rate-estimator tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.metrics import RateEstimator, TimeWeightedMean
+
+
+def test_time_weighted_mean_piecewise():
+    meter = TimeWeightedMean()
+    meter.observe(1.0, 10.0)  # 10 held over [0, 1)
+    meter.observe(3.0, 4.0)   # 4 held over [1, 3)
+    assert meter.mean == pytest.approx((10.0 * 1 + 4.0 * 2) / 3)
+    assert meter.total == pytest.approx(18.0)
+    assert meter.duration == pytest.approx(3.0)
+
+
+def test_time_weighted_mean_before_time_passes():
+    meter = TimeWeightedMean()
+    assert meter.mean == 0.0
+
+
+def test_time_cannot_go_backwards():
+    meter = TimeWeightedMean()
+    meter.observe(2.0, 1.0)
+    with pytest.raises(SimulationError):
+        meter.observe(1.0, 1.0)
+
+
+def test_rate_estimator_window():
+    est = RateEstimator(window=1.0)
+    est.record(0.0, 100.0)
+    est.record(0.5, 100.0)
+    assert est.rate(0.9) == pytest.approx(200.0)
+    # The first event leaves the window after t=1.0.
+    assert est.rate(1.1) == pytest.approx(100.0)
+    assert est.rate(2.0) == pytest.approx(0.0)
+
+
+def test_rate_estimator_total():
+    est = RateEstimator(window=2.0)
+    est.record(0.0, 5.0)
+    est.record(1.0, 7.0)
+    assert est.total(1.5) == pytest.approx(12.0)
+    assert est.total(2.5) == pytest.approx(7.0)
+
+
+def test_rate_estimator_validation():
+    with pytest.raises(ConfigurationError):
+        RateEstimator(window=0.0)
+    est = RateEstimator(window=1.0)
+    with pytest.raises(ConfigurationError):
+        est.record(0.0, -1.0)

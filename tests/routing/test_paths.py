@@ -1,0 +1,36 @@
+"""Path helper tests."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import path_hops, path_links, path_stretch, validate_path
+from repro.topology import Topology
+
+
+def test_path_hops_and_links():
+    assert path_hops((1, 2, 4)) == 2
+    assert path_links((1, 2, 4)) == [(1, 2), (2, 4)]
+    assert path_links((4, 2, 1)) == [(2, 4), (1, 2)]  # canonical keys
+
+
+def test_empty_path_rejected():
+    with pytest.raises(RoutingError):
+        path_hops(())
+
+
+def test_validate_path():
+    topo = Topology.from_links([(1, 2), (2, 3)])
+    assert validate_path(topo, [1, 2, 3]) == (1, 2, 3)
+    with pytest.raises(RoutingError):
+        validate_path(topo, [1, 3])  # missing link
+    with pytest.raises(RoutingError):
+        validate_path(topo, [1, 2, 1])  # revisits a node
+    with pytest.raises(RoutingError):
+        validate_path(topo, [1, 99])  # unknown node
+
+
+def test_path_stretch():
+    assert path_stretch((1, 2, 3), 2) == 1.0
+    assert path_stretch((1, 2, 3, 4), 2) == 1.5
+    with pytest.raises(RoutingError):
+        path_stretch((1, 2), 0)

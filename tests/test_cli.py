@@ -1,0 +1,38 @@
+"""CLI smoke tests (fast paths only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.topology.io import load_topology
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Level 3" in out
+    assert "max deviation" in out
+
+
+def test_export_isp_command(tmp_path, capsys):
+    output = tmp_path / "vsnl.json"
+    assert main(["export-isp", "vsnl", str(output)]) == 0
+    topo = load_topology(output)
+    assert topo.num_links == 12
+
+
+def test_export_rejects_unknown_isp(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["export-isp", "comcast", str(tmp_path / "x.json")])
+
+
+def test_fig3_command_short(capsys):
+    assert main(["fig3", "--duration", "4.0"]) == 0
+    out = capsys.readouterr().out
+    assert "fig3 (e2e, fluid)" in out
+    assert "fig3 (inrpp, chunk-sim)" in out

@@ -1,0 +1,33 @@
+"""Exception hierarchy sanity."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in (
+        "ConfigurationError",
+        "TopologyError",
+        "RoutingError",
+        "NoPathError",
+        "SimulationError",
+        "WorkloadError",
+        "CacheError",
+        "AnalysisError",
+    ):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_no_path_error_carries_endpoints():
+    err = errors.NoPathError("a", "b", "isolated component")
+    assert err.source == "a"
+    assert err.destination == "b"
+    assert "isolated component" in str(err)
+    assert isinstance(err, errors.RoutingError)
+
+
+def test_catchable_as_base():
+    with pytest.raises(errors.ReproError):
+        raise errors.TopologyError("boom")

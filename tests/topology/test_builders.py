@@ -1,0 +1,58 @@
+"""Hand-built topology tests (Fig. 3 and friends)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology import (
+    dumbbell_topology,
+    fig3_topology,
+    line_topology,
+    star_topology,
+)
+from repro.units import mbps
+
+
+def test_fig3_matches_paper_capacities():
+    topo = fig3_topology()
+    assert topo.num_nodes == 5
+    assert topo.num_links == 5
+    assert topo.capacity(1, 2) == mbps(10)
+    assert topo.capacity(2, 4) == mbps(2)   # the bottleneck
+    assert topo.capacity(2, 3) == mbps(3)   # detour first hop
+    assert topo.capacity(3, 4) == mbps(3)   # detour second hop
+    assert topo.capacity(2, 5) == mbps(10)  # the clear path
+
+
+def test_fig3_detour_exists_around_bottleneck():
+    topo = fig3_topology()
+    # Node 3 provides the one-hop detour around the 2-4 bottleneck.
+    assert topo.has_link(2, 3) and topo.has_link(3, 4)
+
+
+def test_line_topology():
+    topo = line_topology(5)
+    assert topo.num_nodes == 5
+    assert topo.num_links == 4
+    for node in range(4):
+        assert topo.has_link(node, node + 1)
+    with pytest.raises(ConfigurationError):
+        line_topology(1)
+
+
+def test_star_topology():
+    topo = star_topology(6)
+    assert topo.num_nodes == 7
+    assert topo.degree(0) == 6
+    with pytest.raises(ConfigurationError):
+        star_topology(0)
+
+
+def test_dumbbell_topology():
+    topo = dumbbell_topology(3, bottleneck_capacity=mbps(1))
+    assert topo.capacity("L", "R") == mbps(1)
+    assert topo.num_links == 1 + 6
+    for index in range(3):
+        assert topo.has_link(f"s{index}", "L")
+        assert topo.has_link("R", f"r{index}")
+    with pytest.raises(ConfigurationError):
+        dumbbell_topology(0)

@@ -1,0 +1,114 @@
+"""Topology graph model tests."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import Topology, link_key
+from repro.units import mbps
+
+
+@pytest.fixture
+def triangle():
+    topo = Topology("triangle")
+    topo.add_link("a", "b", capacity=mbps(10), delay=0.001)
+    topo.add_link("b", "c", capacity=mbps(20), delay=0.002)
+    topo.add_link("c", "a", capacity=mbps(30), delay=0.003)
+    return topo
+
+
+def test_link_key_is_order_independent():
+    assert link_key(2, 1) == link_key(1, 2)
+    assert link_key("b", "a") == ("a", "b")
+
+
+def test_basic_counts(triangle):
+    assert triangle.num_nodes == 3
+    assert triangle.num_links == 3
+    assert set(triangle.nodes()) == {"a", "b", "c"}
+
+
+def test_capacity_delay_lookup_either_orientation(triangle):
+    assert triangle.capacity("a", "b") == mbps(10)
+    assert triangle.capacity("b", "a") == mbps(10)
+    assert triangle.delay("c", "b") == pytest.approx(0.002)
+
+
+def test_self_loop_rejected():
+    topo = Topology()
+    with pytest.raises(TopologyError):
+        topo.add_link("x", "x")
+
+
+def test_duplicate_link_rejected(triangle):
+    with pytest.raises(TopologyError):
+        triangle.add_link("b", "a")
+
+
+def test_nonpositive_capacity_rejected():
+    topo = Topology()
+    with pytest.raises(TopologyError):
+        topo.add_link("a", "b", capacity=0)
+    with pytest.raises(TopologyError):
+        topo.add_link("a", "b", capacity=-5)
+
+
+def test_unknown_link_lookup_raises(triangle):
+    with pytest.raises(TopologyError):
+        triangle.capacity("a", "zzz")
+
+
+def test_set_capacity(triangle):
+    triangle.set_capacity("a", "b", mbps(99))
+    assert triangle.capacity("b", "a") == mbps(99)
+    with pytest.raises(TopologyError):
+        triangle.set_capacity("a", "b", -1)
+
+
+def test_is_bridge(triangle):
+    # No triangle edge is a bridge; a pendant edge is.
+    assert not triangle.is_bridge("a", "b")
+    triangle.add_link("c", "leaf")
+    assert triangle.is_bridge("c", "leaf")
+    # is_bridge must not mutate the graph.
+    assert triangle.has_link("c", "leaf")
+    assert triangle.num_links == 4
+
+
+def test_without_link_copies(triangle):
+    reduced = triangle.without_link("a", "b")
+    assert not reduced.has_link("a", "b")
+    assert triangle.has_link("a", "b")
+
+
+def test_directed_links_double_count(triangle):
+    directed = list(triangle.directed_links())
+    assert len(directed) == 2 * triangle.num_links
+    assert ("a", "b") in directed and ("b", "a") in directed
+
+
+def test_from_links_and_total_capacity():
+    topo = Topology.from_links([(1, 2), (2, 3)], capacity=mbps(5))
+    assert topo.num_links == 2
+    assert topo.total_capacity() == mbps(10)
+    assert topo.link_capacities() == {(1, 2): mbps(5), (2, 3): mbps(5)}
+
+
+def test_is_connected():
+    topo = Topology.from_links([(1, 2), (3, 4)])
+    assert not topo.is_connected()
+    topo.add_link(2, 3)
+    assert topo.is_connected()
+
+
+def test_neighbors_and_degree(triangle):
+    assert set(triangle.neighbors("a")) == {"b", "c"}
+    assert triangle.degree("a") == 2
+    with pytest.raises(TopologyError):
+        triangle.neighbors("nope")
+
+
+def test_copy_independent(triangle):
+    clone = triangle.copy()
+    clone.remove_link("a", "b")
+    assert triangle.has_link("a", "b")
+    assert not clone.has_link("a", "b")

@@ -1,0 +1,82 @@
+"""Topology serialisation round-trips."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import Topology, build_isp_topology, fig3_topology
+from repro.topology.io import (
+    load_topology,
+    save_topology,
+    topology_from_dict,
+    topology_from_edge_list,
+    topology_to_dict,
+    topology_to_edge_list,
+)
+
+
+def _assert_same(a: Topology, b: Topology) -> None:
+    assert sorted(map(repr, a.nodes())) == sorted(map(repr, b.nodes()))
+    assert sorted(map(repr, a.links())) == sorted(map(repr, b.links()))
+    for u, v in a.links():
+        assert a.capacity(u, v) == pytest.approx(b.capacity(u, v))
+        assert a.delay(u, v) == pytest.approx(b.delay(u, v))
+
+
+def test_dict_round_trip_fig3():
+    topo = fig3_topology()
+    clone = topology_from_dict(topology_to_dict(topo))
+    _assert_same(topo, clone)
+    assert clone.name == "fig3"
+
+
+def test_json_file_round_trip(tmp_path):
+    topo = build_isp_topology("vsnl", seed=0)
+    path = tmp_path / "vsnl.json"
+    save_topology(topo, path)
+    clone = load_topology(path)
+    _assert_same(topo, clone)
+
+
+def test_invalid_json_rejected(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with pytest.raises(TopologyError):
+        load_topology(path)
+
+
+def test_dict_validation():
+    with pytest.raises(TopologyError):
+        topology_from_dict({"name": "x"})
+    with pytest.raises(TopologyError):
+        topology_from_dict({"links": [{"u": 1}]})
+
+
+def test_edge_list_round_trip():
+    topo = fig3_topology()
+    text = topology_to_edge_list(topo)
+    clone = topology_from_edge_list(text)
+    _assert_same(topo, clone)
+
+
+def test_edge_list_parsing_features():
+    text = """
+    # a comment
+    a b 5e6 0.002
+    b c            # defaults apply
+    """
+    topo = topology_from_edge_list(text)
+    assert topo.capacity("a", "b") == 5e6
+    assert topo.delay("a", "b") == pytest.approx(0.002)
+    assert topo.has_link("b", "c")
+
+
+def test_edge_list_integer_nodes():
+    topo = topology_from_edge_list("1 2\n2 3\n")
+    assert set(topo.nodes()) == {1, 2, 3}
+
+
+def test_edge_list_errors_carry_line_numbers():
+    with pytest.raises(TopologyError, match="line 2"):
+        topology_from_edge_list("a b\nonlyone\n")
+    with pytest.raises(TopologyError, match="line 2"):
+        topology_from_edge_list("a b\na b\n")  # duplicate link

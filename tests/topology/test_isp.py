@@ -1,0 +1,73 @@
+"""ISP profile and Table 1 solver tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.routing.detour import detour_breakdown
+from repro.topology import ISP_NAMES, build_isp_topology, isp_profile, solve_link_counts
+from repro.topology.isp import TABLE1_AVERAGE, build_isp_topology_with_report
+
+
+def test_nine_isps_in_paper_order():
+    assert ISP_NAMES == (
+        "exodus",
+        "vsnl",
+        "level3",
+        "sprint",
+        "att",
+        "ebone",
+        "telstra",
+        "tiscali",
+        "verio",
+    )
+
+
+def test_profile_lookup_case_insensitive():
+    assert isp_profile("Level3").display_name == "Level 3"
+    assert isp_profile("TELSTRA").region == "AUS"
+    with pytest.raises(ConfigurationError):
+        isp_profile("comcast")
+
+
+def test_vsnl_solves_to_twelve_links():
+    # 25.00 / 33.33 / 0.00 / 41.67 is exactly 3/4/0/5 over 12 links.
+    assert solve_link_counts((25.00, 33.33, 0.00, 41.67)) == (3, 4, 0, 5)
+
+
+@pytest.mark.parametrize("name", ISP_NAMES)
+def test_solver_matches_published_rounding(name):
+    profile = isp_profile(name)
+    counts = solve_link_counts(profile.detour_percentages)
+    total = sum(counts)
+    for count, target in zip(counts, profile.detour_percentages):
+        assert abs(100.0 * count / total - target) <= 0.005
+
+
+def test_solver_rejects_bad_percentages():
+    with pytest.raises(ConfigurationError):
+        solve_link_counts((10.0, 10.0, 10.0, 10.0))
+
+
+@pytest.mark.parametrize("name", ["vsnl", "exodus", "telstra"])
+def test_built_topology_reproduces_profile(name):
+    profile = isp_profile(name)
+    topo = build_isp_topology(name, seed=0)
+    assert topo.is_connected()
+    measured = detour_breakdown(topo).percentages()
+    for got, want in zip(measured, profile.detour_percentages):
+        assert abs(got - want) <= 0.005
+
+
+def test_build_report_counts_sum_to_links():
+    topo, report = build_isp_topology_with_report("ebone", seed=0)
+    assert report.total_links == topo.num_links
+
+
+def test_average_row_constant():
+    assert TABLE1_AVERAGE == (52.80, 30.86, 3.24, 13.10)
+
+
+def test_seed_changes_layout_not_mix():
+    a = build_isp_topology("vsnl", seed=0)
+    b = build_isp_topology("vsnl", seed=1)
+    assert detour_breakdown(a).counts == detour_breakdown(b).counts

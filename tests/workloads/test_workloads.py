@@ -1,0 +1,147 @@
+"""Arrival processes, size distributions, pair samplers, workloads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.topology import fig3_topology, mesh_topology, star_topology
+from repro.workloads import (
+    DeterministicArrivals,
+    ExponentialSize,
+    FixedSize,
+    FlowWorkload,
+    ParetoSize,
+    PoissonArrivals,
+    gravity_pairs,
+    local_pairs,
+    uniform_pairs,
+)
+
+
+# ----------------------------------------------------------------------
+# Arrivals
+# ----------------------------------------------------------------------
+def test_poisson_mean_interarrival():
+    process = PoissonArrivals(rate_per_second=50.0, seed=1)
+    gaps = [process.next_interarrival() for _ in range(4000)]
+    assert np.mean(gaps) == pytest.approx(1 / 50.0, rel=0.1)
+
+
+def test_poisson_times_respect_horizon_and_count():
+    process = PoissonArrivals(5.0, seed=2)
+    times = list(process.times(horizon=10.0))
+    assert all(0 < t <= 10.0 for t in times)
+    assert times == sorted(times)
+    process = PoissonArrivals(5.0, seed=2)
+    assert len(list(process.times(max_events=7))) == 7
+
+
+def test_poisson_requires_bound():
+    process = PoissonArrivals(1.0, seed=0)
+    with pytest.raises(WorkloadError):
+        next(process.times())
+    with pytest.raises(WorkloadError):
+        PoissonArrivals(0.0)
+
+
+def test_poisson_deterministic_per_seed():
+    a = list(PoissonArrivals(3.0, seed=9).times(max_events=20))
+    b = list(PoissonArrivals(3.0, seed=9).times(max_events=20))
+    assert a == b
+
+
+def test_deterministic_arrivals():
+    times = list(DeterministicArrivals(0.5, start=1.0).times(max_events=4))
+    assert times == [1.0, 1.5, 2.0, 2.5]
+    with pytest.raises(WorkloadError):
+        DeterministicArrivals(0.0)
+
+
+# ----------------------------------------------------------------------
+# Sizes
+# ----------------------------------------------------------------------
+def test_fixed_size():
+    dist = FixedSize(1000.0)
+    assert dist.sample() == 1000.0
+    assert dist.mean == 1000.0
+    with pytest.raises(WorkloadError):
+        FixedSize(0)
+
+
+def test_exponential_size_mean():
+    dist = ExponentialSize(1e6, seed=3)
+    samples = [dist.sample() for _ in range(5000)]
+    assert np.mean(samples) == pytest.approx(1e6, rel=0.1)
+    assert min(samples) > 0
+
+
+def test_pareto_size_mean_and_validation():
+    dist = ParetoSize(1e6, shape=2.5, seed=4)
+    samples = [dist.sample() for _ in range(20000)]
+    assert np.mean(samples) == pytest.approx(1e6, rel=0.15)
+    with pytest.raises(WorkloadError):
+        ParetoSize(1e6, shape=1.0)
+    with pytest.raises(WorkloadError):
+        ParetoSize(-1.0)
+
+
+# ----------------------------------------------------------------------
+# Pair samplers
+# ----------------------------------------------------------------------
+def test_uniform_pairs_no_self_loops():
+    topo = mesh_topology(10, extra_links=5, seed=0)
+    sample = uniform_pairs(topo, seed=1)
+    for _ in range(100):
+        src, dst = sample()
+        assert src != dst
+        assert topo.has_node(src) and topo.has_node(dst)
+
+
+def test_gravity_pairs_prefer_hubs():
+    topo = star_topology(8)  # node 0 is the only hub
+    sample = gravity_pairs(topo, seed=1)
+    draws = [sample() for _ in range(300)]
+    hub_rate = sum(1 for s, d in draws if 0 in (s, d)) / len(draws)
+    assert hub_rate > 0.5
+
+
+def test_local_pairs_radius_and_degree():
+    topo = mesh_topology(40, extra_links=30, seed=2)
+    sample = local_pairs(topo, seed=3, max_hops=3)
+    from repro.routing import shortest_path
+
+    for _ in range(50):
+        src, dst = sample()
+        assert src != dst
+        assert topo.degree(src) >= 2 and topo.degree(dst) >= 2
+        assert len(shortest_path(topo, src, dst)) - 1 <= 3
+
+
+def test_local_pairs_validation():
+    topo = fig3_topology()
+    with pytest.raises(WorkloadError):
+        local_pairs(topo, max_hops=1)
+
+
+# ----------------------------------------------------------------------
+# FlowWorkload
+# ----------------------------------------------------------------------
+def test_workload_generation_sorted_and_reproducible():
+    topo = mesh_topology(20, extra_links=10, seed=5)
+    make = lambda: FlowWorkload(
+        topo, arrival_rate=10.0, mean_size_bits=1e6, demand_bps=1e6, seed=7
+    ).generate(horizon=5.0)
+    specs_a, specs_b = make(), make()
+    assert [s.arrival_time for s in specs_a] == [s.arrival_time for s in specs_b]
+    assert all(
+        a.arrival_time <= b.arrival_time for a, b in zip(specs_a, specs_a[1:])
+    )
+    assert all(spec.source != spec.destination for spec in specs_a)
+    assert all(spec.size_bits > 0 for spec in specs_a)
+    assert {spec.flow_id for spec in specs_a} == set(range(len(specs_a)))
+
+
+def test_workload_demand_validation():
+    topo = mesh_topology(5, extra_links=2, seed=0)
+    with pytest.raises(WorkloadError):
+        FlowWorkload(topo, 1.0, 1e6, demand_bps=0)
