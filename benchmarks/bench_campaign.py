@@ -1,0 +1,43 @@
+"""Campaign orchestrator — fan-out overhead and cache-hit latency.
+
+Two things worth measuring on the orchestration layer itself:
+
+- a cold sweep (plan + execute + persist) over a small grid, i.e. what
+  one campaign cell costs on top of the underlying driver, and
+- a warm sweep over the same grid, which must be dominated by JSON
+  loads — the cache is the reason repeat campaigns are free.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.campaign import CampaignRunner, ResultStore, plan_runs
+
+from conftest import register_report
+
+_GRID = {"isp": ["vsnl"], "seed": [0, 1], "num_snapshots": [2]}
+
+
+def _sweep(results_dir: str) -> object:
+    specs = plan_runs(["snapshot-sweep"], _GRID)
+    return CampaignRunner(store=ResultStore(results_dir)).run(specs)
+
+
+def test_bench_campaign_cold(benchmark):
+    with tempfile.TemporaryDirectory() as results_dir:
+        report = benchmark.pedantic(
+            _sweep, args=(results_dir,), rounds=1, iterations=1
+        )
+    assert report.computed == 2 and report.cache_hits == 0
+    register_report("campaign: cold sweep", report.summary())
+
+
+def test_bench_campaign_cached(benchmark):
+    with tempfile.TemporaryDirectory() as results_dir:
+        _sweep(results_dir)  # warm the store
+        report = benchmark.pedantic(
+            _sweep, args=(results_dir,), rounds=3, iterations=1
+        )
+        assert report.computed == 0 and report.cache_hits == 2
+    register_report("campaign: warm sweep (all cache hits)", report.summary())

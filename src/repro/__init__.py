@@ -78,6 +78,13 @@ from repro.flowsim import (
 )
 from repro.chunksim import ChunkNetwork, ChunkSimConfig
 from repro.analysis import run_fig3_simulation, run_fig4, run_table1
+from repro.campaign import (
+    CampaignRunner,
+    ResultStore,
+    iter_scenarios,
+    plan_runs,
+    register_scenario,
+)
 
 __version__ = "1.0.0"
 
@@ -138,4 +145,10 @@ __all__ = [
     "run_table1",
     "run_fig3_simulation",
     "run_fig4",
+    # campaign
+    "CampaignRunner",
+    "ResultStore",
+    "iter_scenarios",
+    "plan_runs",
+    "register_scenario",
 ]

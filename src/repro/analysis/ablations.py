@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.fig3 import run_fig3_simulation
+from repro.campaign.scenario import register_scenario
 from repro.chunksim import ChunkNetwork, ChunkSimConfig
 from repro.flowsim.snapshots import snapshot_experiment
 from repro.flowsim.strategies import make_strategy
@@ -137,3 +138,87 @@ def ablate_gossip(
         report = net.run(duration=duration, warmup=duration / 3)
         results[gossip] = sum(report.flow(f).goodput_bps for f in flows)
     return results
+
+
+# --- campaign adapters -------------------------------------------------
+#
+# JSON object keys must be strings, so the int/bool-keyed ablation maps
+# are re-keyed here; otherwise the adapters are thin shims over the
+# drivers above.
+
+
+@register_scenario(
+    "ablation-detour-depth",
+    summary="ablation: INRP throughput vs detour depth on an ISP map",
+    tags=("ablation", "flowsim"),
+)
+def scenario_detour_depth(
+    isp: str = "telstra", seed: int = 42, num_snapshots: int = 6
+) -> Dict[str, object]:
+    throughput = ablate_detour_depth(
+        isp=isp, seed=seed, num_snapshots=num_snapshots
+    )
+    return {
+        "isp": isp,
+        "throughput_by_depth": {
+            str(depth): value for depth, value in throughput.items()
+        },
+    }
+
+
+@register_scenario(
+    "ablation-custody",
+    summary="ablation: custody-store size sweep on a detour-free bottleneck",
+    tags=("ablation", "chunksim"),
+)
+def scenario_custody(duration: float = 15.0) -> Dict[str, object]:
+    points = ablate_custody_size(duration=duration)
+    return {
+        label: {
+            "goodput_mbps": point.goodput_mbps,
+            "peak_custody_bytes": point.peak_custody_bytes,
+            "backpressure_signals": point.backpressure_signals,
+            "drops": point.drops,
+        }
+        for label, point in points.items()
+    }
+
+
+@register_scenario(
+    "ablation-anticipation",
+    summary="ablation: anticipation horizon Ac on the Fig. 3 scenario",
+    tags=("ablation", "chunksim"),
+)
+def scenario_anticipation(duration: float = 15.0) -> Dict[str, object]:
+    results = ablate_anticipation(duration=duration)
+    return {
+        str(horizon): {
+            "rate_bottlenecked_mbps": rates[0],
+            "rate_clear_mbps": rates[1],
+            "jain": rates[2],
+        }
+        for horizon, rates in results.items()
+    }
+
+
+@register_scenario(
+    "ablation-gossip",
+    summary="ablation: informed vs optimistic detouring on an ISP map",
+    tags=("ablation", "chunksim"),
+)
+def scenario_gossip(
+    isp: str = "vsnl",
+    duration: float = 10.0,
+    num_flows: int = 4,
+    seed: int = 11,
+) -> Dict[str, object]:
+    results = ablate_gossip(
+        isp=isp, duration=duration, num_flows=num_flows, seed=seed
+    )
+    return {
+        "isp": isp,
+        "goodput_bps": {
+            "gossip": results[True],
+            "optimistic": results[False],
+        },
+    }

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.analysis.records import ComparisonTable
+from repro.campaign.scenario import register_scenario
 from repro.chunksim import ChunkNetwork, ChunkSimConfig
 from repro.flowsim import make_strategy
 from repro.metrics.fairness import jain_index
@@ -45,6 +46,16 @@ class Fig3Result:
     @property
     def jain(self) -> float:
         return jain_index([self.rate_bottlenecked_mbps, self.rate_clear_mbps])
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (campaign result records)."""
+        return {
+            "mode": self.mode,
+            "method": self.method,
+            "rate_bottlenecked_mbps": self.rate_bottlenecked_mbps,
+            "rate_clear_mbps": self.rate_clear_mbps,
+            "jain": self.jain,
+        }
 
     def comparisons(self) -> ComparisonTable:
         paper_rates = (
@@ -130,3 +141,21 @@ def run_fig3_all(duration: float = 20.0) -> Dict[str, Fig3Result]:
     results["e2e-sim"], _ = run_fig3_simulation("e2e", duration=duration)
     results["inrpp-sim"], _ = run_fig3_simulation("inrpp", duration=duration)
     return results
+
+
+@register_scenario(
+    "fig3",
+    summary="Fig. 3: fairness worked example (fluid + chunk-level)",
+    tags=("paper", "chunksim"),
+)
+def scenario_fig3(duration: float = 20.0) -> Dict[str, object]:
+    """Campaign adapter: all four Fig. 3 reproductions.
+
+    The scenario is fully deterministic (no seed axis): the fluid runs
+    are closed-form and the chunk-level protocol simulation has no
+    random component on the Fig. 3 topology.
+    """
+    return {
+        key: result.as_dict()
+        for key, result in run_fig3_all(duration=duration).items()
+    }

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.records import ComparisonTable
 from repro.analysis.reporting import ascii_bar_chart, ascii_cdf
+from repro.campaign.scenario import register_scenario
 from repro.flowsim.snapshots import SnapshotResult, snapshot_experiment
 from repro.flowsim.strategies import make_strategy
 from repro.rng import derive_seed
@@ -71,6 +72,29 @@ class Fig4Result:
             series, title="Fig. 4a: network throughput (SP / ECMP / INRP)"
         )
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (campaign result records)."""
+        gains = {isp: self.gain_over_sp(isp) for isp in self.throughput}
+        payload: Dict[str, object] = {
+            "throughput": {
+                isp: dict(row) for isp, row in self.throughput.items()
+            },
+            "gain_over_sp": gains,
+            "mean_gain_over_sp": sum(gains.values()) / len(gains)
+            if gains
+            else 0.0,
+        }
+        stretch = {}
+        for isp, result in self.inrp_results.items():
+            cdf = result.stretch_cdf()
+            stretch[isp] = {
+                "p50": cdf.quantile(0.50),
+                "p90": cdf.quantile(0.90),
+                "p99": cdf.quantile(0.99),
+            }
+        payload["inrp_stretch"] = stretch
+        return payload
+
     def render_fig4b(self, points: int = 10) -> str:
         curves = {}
         for isp, result in self.inrp_results.items():
@@ -79,6 +103,44 @@ class Fig4Result:
         return ascii_cdf(
             curves, points=points, title="Fig. 4b: INRP path stretch CDF"
         )
+
+
+def run_snapshot_cell(
+    topo,
+    strategy_name: str,
+    seed: int,
+    sampler_label: str,
+    num_snapshots: int = 8,
+    demand_bps: float = mbps(10),
+    flows_per_node: float = 1.0 / 12.0,
+    max_hops: int = 5,
+    detour_depth: int = 2,
+) -> SnapshotResult:
+    """One (topology, strategy) cell of the calibrated snapshot sweep.
+
+    The single place the Fig. 4 operating point is encoded — the flow
+    population floor, the detour-depth gating and the
+    locality-weighted demand model — shared by :func:`run_fig4` and
+    the ``snapshot-sweep`` campaign scenario so the two cannot drift
+    apart.
+    """
+    num_flows = max(10, int(topo.num_nodes * flows_per_node))
+    kwargs = (
+        {"detour_depth": detour_depth}
+        if strategy_name in ("inrp", "urp")
+        else {}
+    )
+    strategy = make_strategy(strategy_name, topo, **kwargs)
+    sampler_seed = derive_seed(seed, sampler_label)
+    return snapshot_experiment(
+        topo,
+        strategy,
+        num_flows=num_flows,
+        demand_bps=demand_bps,
+        num_snapshots=num_snapshots,
+        seed=seed,
+        pair_sampler=local_pairs(topo, sampler_seed, max_hops=max_hops),
+    )
 
 
 def run_fig4(
@@ -106,22 +168,41 @@ def run_fig4(
     result = Fig4Result()
     for isp in isps:
         topo = build_isp_topology(isp, seed=0)
-        num_flows = max(10, int(topo.num_nodes * flows_per_node))
-        sampler_seed = derive_seed(seed, f"fig4-{isp}")
         result.throughput[isp] = {}
         for name in strategies:
-            kwargs = {"detour_depth": detour_depth} if name == "inrp" else {}
-            strategy = make_strategy(name, topo, **kwargs)
-            snapshot = snapshot_experiment(
+            snapshot = run_snapshot_cell(
                 topo,
-                strategy,
-                num_flows=num_flows,
-                demand_bps=demand_bps,
-                num_snapshots=num_snapshots,
+                name,
                 seed=seed,
-                pair_sampler=local_pairs(topo, sampler_seed, max_hops=max_hops),
+                sampler_label=f"fig4-{isp}",
+                num_snapshots=num_snapshots,
+                demand_bps=demand_bps,
+                flows_per_node=flows_per_node,
+                max_hops=max_hops,
+                detour_depth=detour_depth,
             )
             result.throughput[isp][name] = snapshot.mean_throughput
             if name == "inrp":
                 result.inrp_results[isp] = snapshot
     return result
+
+
+@register_scenario(
+    "fig4",
+    summary="Fig. 4: SP/ECMP/INRP throughput + INRP stretch on ISP maps",
+    tags=("paper", "flowsim"),
+)
+def scenario_fig4(
+    seed: int = 42,
+    isp: Optional[str] = None,
+    num_snapshots: int = 8,
+    detour_depth: int = 2,
+) -> Dict[str, object]:
+    """Campaign adapter: Fig. 4, optionally restricted to one ISP."""
+    result = run_fig4(
+        isps=(isp,) if isp else FIG4_ISPS,
+        seed=seed,
+        num_snapshots=num_snapshots,
+        detour_depth=detour_depth,
+    )
+    return result.as_dict()

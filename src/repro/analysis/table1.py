@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.analysis.records import ComparisonTable
 from repro.analysis.reporting import ascii_table
+from repro.campaign.scenario import register_scenario
 from repro.routing.detour import DetourBreakdown, DetourClass, detour_breakdown
 from repro.topology.isp import (
     ISP_NAMES,
@@ -51,6 +52,25 @@ class Table1Result:
     @property
     def max_error(self) -> float:
         return max(row.max_error for row in self.rows)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (campaign result records)."""
+        return {
+            "rows": [
+                {
+                    "isp": row.isp,
+                    "display_name": row.display_name,
+                    "paper": list(row.paper),
+                    "measured": list(row.measured),
+                    "num_links": row.num_links,
+                    "num_nodes": row.num_nodes,
+                    "max_error": row.max_error,
+                }
+                for row in self.rows
+            ],
+            "average_measured": list(self.average_measured()),
+            "max_error": self.max_error,
+        }
 
     def comparisons(self) -> ComparisonTable:
         table = ComparisonTable("table1: detour availability (%)")
@@ -116,3 +136,14 @@ def run_table1(
             )
         )
     return result
+
+
+@register_scenario(
+    "table1",
+    summary="Table 1: detour availability across the nine ISP maps",
+    tags=("paper", "topology"),
+)
+def scenario_table1(seed: int = 0, isp: Optional[str] = None) -> Dict[str, object]:
+    """Campaign adapter: Table 1, optionally restricted to one ISP."""
+    result = run_table1(seed=seed, isps=[isp] if isp else None)
+    return result.as_dict()

@@ -1,0 +1,59 @@
+"""Campaign orchestration: declarative scenarios, parallel sweeps, cached results.
+
+This package is the substrate for running *many* operating points of
+the reproduction — paper artifacts, ablations and parameter-grid
+sweeps — instead of one bespoke entry point per figure:
+
+- :mod:`repro.campaign.scenario` — the registry naming every runnable
+  experiment (drivers self-register with ``@register_scenario``);
+- :mod:`repro.campaign.grid` — ``key=v1,v2`` axis parsing and cartesian
+  expansion;
+- :mod:`repro.campaign.runner` — grid planning, per-run seeding via
+  :mod:`repro.rng` and ``multiprocessing`` fan-out;
+- :mod:`repro.campaign.store` — schema-versioned JSON records with
+  content-hashed run keys (re-runs are cache hits, ``--force``
+  recomputes);
+- :mod:`repro.campaign.sweeps` — grid scenarios over seed × ISP ×
+  strategy × detour depth beyond the paper's fixed points.
+
+CLI::
+
+    python -m repro campaign list
+    python -m repro campaign run --scenarios table1,fig4 --grid seed=0,1,2 --workers 4
+    python -m repro campaign report
+"""
+
+from repro.campaign.grid import expand_grid, parse_grid
+from repro.campaign.runner import (
+    CampaignReport,
+    CampaignRunner,
+    RunOutcome,
+    RunSpec,
+    plan_runs,
+)
+from repro.campaign.scenario import (
+    Scenario,
+    get_scenario,
+    iter_scenarios,
+    load_builtin_scenarios,
+    register_scenario,
+)
+from repro.campaign.store import SCHEMA_VERSION, ResultStore, run_key
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CampaignReport",
+    "CampaignRunner",
+    "ResultStore",
+    "RunOutcome",
+    "RunSpec",
+    "Scenario",
+    "expand_grid",
+    "get_scenario",
+    "iter_scenarios",
+    "load_builtin_scenarios",
+    "parse_grid",
+    "plan_runs",
+    "register_scenario",
+    "run_key",
+]

@@ -1,0 +1,86 @@
+"""Parameter-grid parsing and expansion for campaign sweeps.
+
+A grid is a mapping of parameter name to the list of values to sweep;
+the cartesian product of all axes yields the run points.  On the CLI a
+grid arrives as repeated ``--grid key=v1,v2,...`` options::
+
+    python -m repro campaign run --scenarios table1,fig4 \
+        --grid seed=0,1,2 --grid detour_depth=1,2
+
+Values are parsed leniently: ``int`` first, then ``float``, then the
+literals ``true``/``false``/``none``, falling back to the raw string —
+so ``seed=0,1,2`` sweeps integers while ``isp=telstra,exodus`` sweeps
+topology names.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+GridValue = Any
+Grid = Dict[str, List[GridValue]]
+
+
+def parse_grid_value(text: str) -> GridValue:
+    """Parse one grid value: int, float, bool/None literal or string."""
+    lowered = text.strip().lower()
+    literals = {"true": True, "false": False, "none": None, "null": None}
+    if lowered in literals:
+        return literals[lowered]
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text.strip()
+
+
+def parse_grid_axis(spec: str) -> tuple:
+    """Parse one ``key=v1,v2,...`` axis spec into ``(key, values)``."""
+    if "=" not in spec:
+        raise ConfigurationError(
+            f"grid axis {spec!r} is not of the form key=v1,v2,..."
+        )
+    key, _, raw_values = spec.partition("=")
+    key = key.strip()
+    values = [parse_grid_value(v) for v in raw_values.split(",") if v.strip() != ""]
+    if not key or not values:
+        raise ConfigurationError(
+            f"grid axis {spec!r} needs a key and at least one value"
+        )
+    return key, values
+
+
+def parse_grid(specs: Iterable[str]) -> Grid:
+    """Parse repeated ``key=v1,v2`` specs into a grid mapping.
+
+    Repeating a key extends its value list (duplicate values are an
+    error — they would silently collapse into one cached run).
+    """
+    grid: Grid = {}
+    for spec in specs:
+        key, values = parse_grid_axis(spec)
+        existing = grid.setdefault(key, [])
+        for value in values:
+            if value in existing:
+                raise ConfigurationError(
+                    f"grid axis {key!r} lists value {value!r} twice"
+                )
+            existing.append(value)
+    return grid
+
+
+def expand_grid(grid: Mapping[str, Sequence[GridValue]]) -> List[Dict[str, GridValue]]:
+    """Cartesian product of all axes, in axis-declaration order.
+
+    An empty grid yields one empty assignment (the scenario's
+    defaults).
+    """
+    if not grid:
+        return [{}]
+    keys = list(grid)
+    products = itertools.product(*(grid[key] for key in keys))
+    return [dict(zip(keys, values)) for values in products]

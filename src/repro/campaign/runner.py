@@ -1,0 +1,194 @@
+"""Campaign execution: grid planning and parallel fan-out.
+
+:func:`plan_runs` turns a scenario selection plus a parameter grid into
+a concrete list of :class:`RunSpec` points; :class:`CampaignRunner`
+executes the plan against a :class:`~repro.campaign.store.ResultStore`,
+skipping cached runs and fanning uncached ones out over a
+``multiprocessing`` pool.
+
+Seeding follows :mod:`repro.rng` discipline: when a campaign base seed
+is given and the grid does not pin a ``seed`` axis, every seed-accepting
+scenario gets ``derive_seed(base_seed, scenario_name)`` — runs of
+different scenarios draw from independent streams, and the same base
+seed reproduces the whole campaign bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.campaign.grid import Grid, expand_grid
+from repro.campaign.scenario import get_scenario, load_builtin_scenarios
+from repro.campaign.store import ResultStore, run_key
+from repro.errors import ConfigurationError
+from repro.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One concrete run: a scenario plus its full parameter assignment."""
+
+    scenario: str
+    params: Mapping[str, Any]
+
+    @property
+    def key(self) -> str:
+        return run_key(self.scenario, self.params)
+
+    def describe(self) -> str:
+        overrides = ", ".join(f"{k}={v!r}" for k, v in self.params.items())
+        return f"{self.scenario}({overrides})"
+
+
+@dataclass
+class RunOutcome:
+    """The result of executing (or cache-hitting) one run."""
+
+    spec: RunSpec
+    run_key: str
+    path: str
+    cached: bool
+    result: Mapping[str, Any]
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate outcome of one campaign invocation."""
+
+    outcomes: List[RunOutcome] = field(default_factory=list)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    @property
+    def computed(self) -> int:
+        return len(self.outcomes) - self.cache_hits
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.outcomes)} run(s): {self.computed} computed, "
+            f"{self.cache_hits} cache hit(s)"
+        )
+
+
+def plan_runs(
+    scenario_names: Sequence[str],
+    grid: Optional[Grid] = None,
+    base_seed: Optional[int] = None,
+) -> List[RunSpec]:
+    """Expand scenarios × grid into concrete run specs.
+
+    Grid axes apply only to scenarios that accept the parameter; an
+    axis accepted by *no* selected scenario is a configuration error
+    (it would silently sweep nothing).
+    """
+    load_builtin_scenarios()
+    grid = grid or {}
+    scenarios = [get_scenario(name) for name in scenario_names]
+    for axis in grid:
+        if not any(scenario.accepts(axis) for scenario in scenarios):
+            names = ", ".join(s.name for s in scenarios)
+            raise ConfigurationError(
+                f"grid axis {axis!r} is not a parameter of any selected "
+                f"scenario ({names})"
+            )
+    specs: List[RunSpec] = []
+    for scenario in scenarios:
+        axes = {k: v for k, v in grid.items() if scenario.accepts(k)}
+        for point in expand_grid(axes):
+            if (
+                base_seed is not None
+                and scenario.accepts("seed")
+                and "seed" not in point
+            ):
+                point["seed"] = derive_seed(base_seed, scenario.name)
+            specs.append(RunSpec(scenario.name, scenario.bind(**point)))
+    return specs
+
+
+def execute_run(payload: Tuple[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """Worker entry point: run one scenario in this process.
+
+    Module-level (not a closure) so it pickles under both the fork and
+    spawn start methods; loads the builtin registry because a spawned
+    worker starts with a fresh interpreter.
+    """
+    scenario_name, params = payload
+    load_builtin_scenarios()
+    scenario = get_scenario(scenario_name)
+    return dict(scenario.run(**params))
+
+
+class CampaignRunner:
+    """Execute run specs with caching and a worker pool.
+
+    Parameters
+    ----------
+    store:
+        Result store consulted for cache hits and written on completion.
+    workers:
+        Worker-process count; ``1`` executes inline (easier debugging,
+        no pickling requirements on exotic scenarios).
+    force:
+        Recompute even when a cached record exists.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        workers: int = 1,
+        force: bool = False,
+    ):
+        if workers < 1:
+            raise ConfigurationError(f"need >= 1 worker, got {workers}")
+        self.store = store or ResultStore()
+        self.workers = workers
+        self.force = force
+
+    def run(self, specs: Sequence[RunSpec]) -> CampaignReport:
+        """Execute *specs*, returning outcomes in spec order."""
+        cached: Dict[int, RunOutcome] = {}
+        todo: List[Tuple[int, RunSpec]] = []
+        for index, spec in enumerate(specs):
+            record = None if self.force else self.store.load(
+                spec.scenario, spec.params
+            )
+            if record is not None:
+                cached[index] = RunOutcome(
+                    spec=spec,
+                    run_key=record["run_key"],
+                    path=str(self.store.path_for(spec.scenario, record["run_key"])),
+                    cached=True,
+                    result=record["result"],
+                )
+            else:
+                todo.append((index, spec))
+
+        results = self._execute(spec for _, spec in todo)
+        report = CampaignReport()
+        fresh: Dict[int, RunOutcome] = {}
+        for (index, spec), result in zip(todo, results):
+            path = self.store.save(spec.scenario, spec.params, result)
+            fresh[index] = RunOutcome(
+                spec=spec,
+                run_key=spec.key,
+                path=str(path),
+                cached=False,
+                result=result,
+            )
+        for index in range(len(specs)):
+            report.outcomes.append(cached.get(index) or fresh[index])
+        return report
+
+    def _execute(self, specs) -> List[Dict[str, Any]]:
+        payloads = [(spec.scenario, dict(spec.params)) for spec in specs]
+        if not payloads:
+            return []
+        if self.workers == 1 or len(payloads) == 1:
+            return [execute_run(payload) for payload in payloads]
+        processes = min(self.workers, len(payloads))
+        with multiprocessing.Pool(processes=processes) as pool:
+            return pool.map(execute_run, payloads)

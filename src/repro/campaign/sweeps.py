@@ -1,0 +1,104 @@
+"""Grid-sweep scenarios that go beyond the paper's fixed operating points.
+
+The paper evaluates INRP at a handful of points; resource pooling's
+benefit is an *aggregate* claim, so these scenarios expose every knob —
+seed × ISP topology × routing strategy × detour depth × load — as a
+campaign grid axis.  A typical sweep::
+
+    python -m repro campaign run --scenarios snapshot-sweep \
+        --grid seed=0,1,2 --grid isp=telstra,exodus,tiscali \
+        --grid strategy=sp,ecmp,inrp --grid detour_depth=0,1,2 \
+        --workers 8
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.analysis.fig4 import run_snapshot_cell
+from repro.campaign.scenario import register_scenario
+from repro.topology.isp import build_isp_topology
+from repro.units import mbps
+
+
+@register_scenario(
+    "snapshot-sweep",
+    summary="flow-level snapshot point: one (seed, isp, strategy, depth) cell",
+    tags=("sweep", "flowsim"),
+)
+def scenario_snapshot_sweep(
+    seed: int = 0,
+    isp: str = "telstra",
+    strategy: str = "inrp",
+    detour_depth: int = 2,
+    num_snapshots: int = 8,
+    demand_mbps: float = 10.0,
+    flows_per_node: float = 1.0 / 12.0,
+    max_hops: int = 5,
+) -> Dict[str, Any]:
+    """One cell of the Fig. 4-style sweep grid.
+
+    Grid axes are the parameters; the campaign runner takes the
+    cartesian product, so a full seed × isp × strategy × depth sweep is
+    one ``campaign run`` invocation instead of a hand-rolled loop.
+    """
+    topo = build_isp_topology(isp, seed=0)
+    snapshot = run_snapshot_cell(
+        topo,
+        strategy,
+        seed=seed,
+        sampler_label=f"snapshot-sweep-{isp}",
+        num_snapshots=num_snapshots,
+        demand_bps=mbps(demand_mbps),
+        flows_per_node=flows_per_node,
+        max_hops=max_hops,
+        detour_depth=detour_depth,
+    )
+    uses_detour = strategy in ("inrp", "urp")
+    result: Dict[str, Any] = {
+        "isp": isp,
+        "strategy": snapshot.strategy,
+        "detour_depth": detour_depth if uses_detour else None,
+        "num_flows": max(10, int(topo.num_nodes * flows_per_node)),
+        "num_snapshots": num_snapshots,
+        "mean_throughput": snapshot.mean_throughput,
+        "std_throughput": snapshot.std_throughput,
+        "switches": snapshot.switches,
+        "backpressured": snapshot.backpressured,
+    }
+    if snapshot.stretch_values:
+        cdf = snapshot.stretch_cdf()
+        result["stretch"] = {
+            "p50": cdf.quantile(0.50),
+            "p90": cdf.quantile(0.90),
+            "p99": cdf.quantile(0.99),
+        }
+    return result
+
+
+@register_scenario(
+    "load-sweep",
+    summary="throughput vs offered load for one strategy on one ISP map",
+    tags=("sweep", "flowsim"),
+)
+def scenario_load_sweep(
+    seed: int = 0,
+    isp: str = "exodus",
+    strategy: str = "inrp",
+    flows_per_node: float = 1.0 / 12.0,
+    num_snapshots: int = 6,
+    demand_mbps: float = 10.0,
+) -> Dict[str, Any]:
+    """Load-scaling point: sweep ``flows_per_node`` to trace saturation.
+
+    Pooling pays off most near saturation; sweeping the stationary
+    population size locates the knee for each strategy.
+    """
+    return scenario_snapshot_sweep(
+        seed=seed,
+        isp=isp,
+        strategy=strategy,
+        num_snapshots=num_snapshots,
+        demand_mbps=demand_mbps,
+        flows_per_node=flows_per_node,
+    )

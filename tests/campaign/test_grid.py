@@ -1,0 +1,55 @@
+"""Grid parsing and expansion."""
+
+import pytest
+
+from repro.campaign.grid import (
+    expand_grid,
+    parse_grid,
+    parse_grid_axis,
+    parse_grid_value,
+)
+from repro.errors import ConfigurationError
+
+
+def test_value_parsing_types():
+    assert parse_grid_value("3") == 3
+    assert isinstance(parse_grid_value("3"), int)
+    assert parse_grid_value("2.5") == 2.5
+    assert parse_grid_value("true") is True
+    assert parse_grid_value("False") is False
+    assert parse_grid_value("none") is None
+    assert parse_grid_value("telstra") == "telstra"
+
+
+def test_axis_parsing():
+    key, values = parse_grid_axis("seed=0,1,2")
+    assert key == "seed"
+    assert values == [0, 1, 2]
+
+
+def test_axis_rejects_malformed():
+    with pytest.raises(ConfigurationError):
+        parse_grid_axis("seed")
+    with pytest.raises(ConfigurationError):
+        parse_grid_axis("=1,2")
+    with pytest.raises(ConfigurationError):
+        parse_grid_axis("seed=")
+
+
+def test_repeated_axis_extends_and_rejects_duplicates():
+    grid = parse_grid(["seed=0,1", "seed=2"])
+    assert grid == {"seed": [0, 1, 2]}
+    with pytest.raises(ConfigurationError):
+        parse_grid(["seed=0,1", "seed=1"])
+
+
+def test_expand_cartesian_product():
+    grid = {"seed": [0, 1], "isp": ["telstra", "vsnl"]}
+    points = expand_grid(grid)
+    assert len(points) == 4
+    assert {"seed": 0, "isp": "vsnl"} in points
+    assert {"seed": 1, "isp": "telstra"} in points
+
+
+def test_expand_empty_grid_is_single_default_point():
+    assert expand_grid({}) == [{}]

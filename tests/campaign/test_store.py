@@ -1,0 +1,74 @@
+"""Result store: run keys, schema versioning, record round-trips."""
+
+import json
+
+import pytest
+
+from repro.campaign.store import SCHEMA_VERSION, ResultStore, run_key
+from repro.errors import ConfigurationError
+
+
+def test_run_key_depends_on_scenario_and_params():
+    base = run_key("table1", {"seed": 0})
+    assert base == run_key("table1", {"seed": 0})
+    assert base != run_key("table1", {"seed": 1})
+    assert base != run_key("fig4", {"seed": 0})
+
+
+def test_run_key_ignores_param_order():
+    assert run_key("x", {"a": 1, "b": 2}) == run_key("x", {"b": 2, "a": 1})
+
+
+def test_run_key_rejects_unserialisable_params():
+    with pytest.raises(ConfigurationError, match="JSON"):
+        run_key("x", {"rng": object()})
+
+
+def test_save_load_roundtrip(tmp_path):
+    store = ResultStore(tmp_path)
+    params = {"seed": 3}
+    path = store.save("demo", params, {"value": 1.5})
+    record = store.load("demo", params)
+    assert path.exists()
+    assert record["schema_version"] == SCHEMA_VERSION
+    assert record["scenario"] == "demo"
+    assert record["result"] == {"value": 1.5}
+    assert store.load("demo", {"seed": 4}) is None
+
+
+def test_stale_schema_treated_as_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    params = {"seed": 0}
+    path = store.save("demo", params, {"value": 1})
+    record = json.loads(path.read_text())
+    record["schema_version"] = SCHEMA_VERSION - 1
+    path.write_text(json.dumps(record))
+    assert store.load("demo", params) is None
+    assert list(store.iter_records()) == []
+
+
+def test_corrupt_record_treated_as_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    params = {"seed": 0}
+    path = store.save("demo", params, {"value": 1})
+    path.write_text("{not json")
+    assert store.load("demo", params) is None
+
+
+def test_iter_records_filters_by_scenario(tmp_path):
+    store = ResultStore(tmp_path)
+    store.save("a", {"seed": 0}, {"v": 1})
+    store.save("a", {"seed": 1}, {"v": 2})
+    store.save("b", {"seed": 0}, {"v": 3})
+    assert len(list(store.iter_records())) == 3
+    assert len(list(store.iter_records("a"))) == 2
+    assert [r["scenario"] for r in store.iter_records("b")] == ["b"]
+
+
+def test_records_written_deterministically(tmp_path):
+    first = ResultStore(tmp_path / "one")
+    second = ResultStore(tmp_path / "two")
+    payload = {"z": 1, "a": [1.5, 2.25], "nested": {"k": True}}
+    path_one = first.save("demo", {"seed": 5}, payload)
+    path_two = second.save("demo", {"seed": 5}, payload)
+    assert path_one.read_bytes() == path_two.read_bytes()

@@ -1,8 +1,11 @@
 """CLI smoke tests (fast paths only)."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro import __version__
+from repro.cli import _effective_seed, build_parser, main
 from repro.topology.io import load_topology
 
 
@@ -10,6 +13,28 @@ def test_parser_requires_command():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args([])
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert __version__ in capsys.readouterr().out
+
+
+def test_fig4_defaults_to_calibrated_seed():
+    args = build_parser().parse_args(["fig4"])
+    assert _effective_seed(args) == 42
+
+
+def test_explicit_seed_wins_over_fig4_default():
+    args = build_parser().parse_args(["--seed", "7", "fig4"])
+    assert _effective_seed(args) == 7
+
+
+def test_table1_defaults_to_seed_zero():
+    args = build_parser().parse_args(["table1"])
+    assert _effective_seed(args) == 0
 
 
 def test_table1_command(capsys):
@@ -36,3 +61,115 @@ def test_fig3_command_short(capsys):
     out = capsys.readouterr().out
     assert "fig3 (e2e, fluid)" in out
     assert "fig3 (inrpp, chunk-sim)" in out
+
+
+def test_campaign_list(capsys):
+    assert main(["campaign", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("table1", "fig3", "fig4", "snapshot-sweep"):
+        assert name in out
+
+
+def test_campaign_list_tag_filter(capsys):
+    assert main(["campaign", "list", "--tags", "paper"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out
+    assert "snapshot-sweep" not in out
+
+
+def test_campaign_run_report_cycle(tmp_path, capsys):
+    results_dir = str(tmp_path / "results")
+    argv = [
+        "campaign",
+        "run",
+        "--scenarios",
+        "table1",
+        "--grid",
+        "seed=0,1",
+        "--grid",
+        "isp=vsnl",
+        "--results-dir",
+        results_dir,
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert out.count("[computed]") == 2
+    assert "2 computed, 0 cache hit(s)" in out
+
+    # Second invocation is served from the cache.
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert out.count("[cached ]") == 2
+    assert "0 computed, 2 cache hit(s)" in out
+
+    records = list((tmp_path / "results" / "table1").glob("*.json"))
+    assert len(records) == 2
+    record = json.loads(records[0].read_text())
+    assert record["schema_version"] == 1
+    assert record["scenario"] == "table1"
+
+    assert main(["campaign", "report", "--results-dir", results_dir]) == 0
+    out = capsys.readouterr().out
+    assert "2 stored record(s)" in out
+
+
+def test_campaign_report_scenario_filter_ignores_blank_names(tmp_path, capsys):
+    results_dir = str(tmp_path / "results")
+    main(
+        [
+            "campaign",
+            "run",
+            "--scenarios",
+            "table1",
+            "--grid",
+            "isp=vsnl",
+            "--results-dir",
+            results_dir,
+        ]
+    )
+    capsys.readouterr()
+    # A trailing comma must not duplicate rows via the all-records glob.
+    assert (
+        main(
+            [
+                "campaign",
+                "report",
+                "--scenarios",
+                "table1,",
+                "--results-dir",
+                results_dir,
+            ]
+        )
+        == 0
+    )
+    assert "1 stored record(s)" in capsys.readouterr().out
+
+
+def test_campaign_list_tags_tolerate_whitespace(capsys):
+    assert main(["campaign", "list", "--tags", "paper, sweep"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out
+    assert "snapshot-sweep" in out
+
+
+def test_campaign_report_empty_dir(tmp_path, capsys):
+    assert (
+        main(["campaign", "report", "--results-dir", str(tmp_path / "none")])
+        == 0
+    )
+    assert "no records" in capsys.readouterr().out
+
+
+def test_campaign_run_rejects_unknown_scenario(tmp_path, capsys):
+    argv = [
+        "campaign",
+        "run",
+        "--scenarios",
+        "nope",
+        "--results-dir",
+        str(tmp_path),
+    ]
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert "repro: error:" in err
+    assert "unknown scenario 'nope'" in err
