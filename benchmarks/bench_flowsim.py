@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Flow-level simulator core benchmark: incremental vs reference.
+
+Runs the same Poisson load sweep through both `FlowLevelSimulator`
+cores and reports the wall-clock speedup plus an equivalence check
+(per-flow completion times and delivered bits must agree within 1e-6
+relative).  A separate verification pass re-checks every incremental
+recompute against from-scratch ``max_min_allocation``.
+
+Unlike the pytest-benchmark drivers next door, this is a standalone
+script so CI can run it and archive the JSON record::
+
+    python benchmarks/bench_flowsim.py --smoke --out BENCH_flowsim.json
+    python benchmarks/bench_flowsim.py --flows 10000   # the full sweep
+
+Exit status is non-zero when equivalence or verification fails, or
+when ``--min-speedup`` is given and not met.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import FlowLevelSimulator, FlowWorkload, build_isp_topology, make_strategy
+from repro.units import mbps
+from repro.workloads import local_pairs
+
+#: Relative tolerance for cross-core record equivalence.
+TOLERANCE = 1e-6
+
+
+def build_specs(args, num_flows):
+    topo = build_isp_topology(args.isp, seed=0)
+    workload = FlowWorkload(
+        topo,
+        arrival_rate=args.arrival_rate,
+        mean_size_bits=args.mean_size_mbit * 1e6,
+        demand_bps=mbps(args.demand_mbps),
+        seed=args.seed,
+        pair_sampler=local_pairs(topo, seed=args.seed + 1, max_hops=args.max_hops),
+    )
+    return topo, workload.generate(max_flows=num_flows)
+
+
+def run_core(topo, strategy_name, specs, core, verify=False):
+    strategy = make_strategy(strategy_name, topo)
+    sim = FlowLevelSimulator(
+        topo, strategy, specs, core=core, verify_allocator=verify
+    )
+    start = time.perf_counter()
+    result = sim.run()
+    return result, time.perf_counter() - start
+
+
+def check_equivalence(reference, incremental):
+    """Worst relative deviation between the two cores' records."""
+    worst = 0.0
+    for ref, inc in zip(reference.records, incremental.records):
+        if ref.flow_id != inc.flow_id or ref.completed != inc.completed:
+            return math.inf
+        if ref.completed:
+            worst = max(worst, abs(ref.fct - inc.fct) / max(abs(ref.fct), 1e-12))
+        worst = max(
+            worst,
+            abs(ref.delivered_bits - inc.delivered_bits) / max(ref.size_bits, 1.0),
+        )
+    worst = max(
+        worst,
+        abs(reference.network_throughput - incremental.network_throughput)
+        / max(reference.network_throughput, 1e-12),
+    )
+    return worst
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--flows", type=int, default=10_000, help="sweep size")
+    parser.add_argument("--isp", default="sprint", help="ISP map (Table 1 name)")
+    parser.add_argument("--strategy", default="sp", help="routing strategy")
+    parser.add_argument("--arrival-rate", type=float, default=1500.0)
+    parser.add_argument("--mean-size-mbit", type=float, default=2.5)
+    parser.add_argument("--demand-mbps", type=float, default=10.0)
+    parser.add_argument("--max-hops", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run (2000 flows) with full allocator verification",
+    )
+    parser.add_argument(
+        "--verify-flows",
+        type=int,
+        default=2000,
+        help="size of the from-scratch allocator verification pass",
+    )
+    parser.add_argument("--min-speedup", type=float, default=None)
+    parser.add_argument("--out", default=None, help="write the JSON record here")
+    args = parser.parse_args(argv)
+
+    num_flows = 2000 if args.smoke else args.flows
+    topo, specs = build_specs(args, num_flows)
+    print(
+        f"flowsim bench: {args.isp} ({topo.num_nodes} nodes), "
+        f"{num_flows} flows, strategy={args.strategy}",
+        flush=True,
+    )
+
+    reference, reference_s = run_core(topo, args.strategy, specs, "reference")
+    print(f"  reference core:   {reference_s:8.2f}s", flush=True)
+    incremental, incremental_s = run_core(topo, args.strategy, specs, "incremental")
+    print(f"  incremental core: {incremental_s:8.2f}s", flush=True)
+    speedup = reference_s / incremental_s if incremental_s > 0 else math.inf
+    worst = check_equivalence(reference, incremental)
+    print(f"  speedup {speedup:.2f}x, worst record deviation {worst:.2e}", flush=True)
+
+    # Every incremental recompute re-checked against from-scratch
+    # max-min (quadratic, so on a bounded slice of the sweep).
+    verified = None
+    if args.strategy in ("sp", "ecmp"):
+        verify_specs = specs[: min(len(specs), args.verify_flows)]
+        run_core(topo, args.strategy, verify_specs, "incremental", verify=True)
+        verified = len(verify_specs)
+        print(f"  allocator verified from scratch on {verified} flows", flush=True)
+
+    record = {
+        "bench": "flowsim-core",
+        "params": {
+            "isp": args.isp,
+            "strategy": args.strategy,
+            "num_flows": num_flows,
+            "arrival_rate": args.arrival_rate,
+            "mean_size_mbit": args.mean_size_mbit,
+            "demand_mbps": args.demand_mbps,
+            "max_hops": args.max_hops,
+            "seed": args.seed,
+            "smoke": args.smoke,
+        },
+        "reference_seconds": round(reference_s, 4),
+        "incremental_seconds": round(incremental_s, 4),
+        "speedup": round(speedup, 3),
+        "worst_record_deviation": worst,
+        "equivalent": worst <= TOLERANCE,
+        "allocator_verified_flows": verified,
+        "result": {
+            "completed": len(reference.completed_records),
+            "unfinished": reference.unfinished,
+            "allocations": reference.allocations,
+            "network_throughput": reference.network_throughput,
+            "mean_fct": reference.mean_fct(),
+            "duration": reference.duration,
+        },
+    }
+    if args.out:
+        Path(args.out).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print(f"  wrote {args.out}", flush=True)
+
+    if not record["equivalent"]:
+        print(f"FAIL: cores diverged beyond {TOLERANCE}", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"FAIL: speedup {speedup:.2f}x below required {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -71,6 +71,7 @@ from repro.workloads import (
 )
 from repro.flowsim import (
     FlowLevelSimulator,
+    IncrementalMaxMin,
     inrp_allocation,
     make_strategy,
     max_min_allocation,
@@ -134,6 +135,7 @@ __all__ = [
     "local_pairs",
     # flowsim
     "max_min_allocation",
+    "IncrementalMaxMin",
     "inrp_allocation",
     "make_strategy",
     "FlowLevelSimulator",

@@ -17,8 +17,11 @@ from typing import Any, Dict
 
 from repro.analysis.fig4 import run_snapshot_cell
 from repro.campaign.scenario import register_scenario
+from repro.flowsim.simulator import FlowLevelSimulator
+from repro.flowsim.strategies import make_strategy
 from repro.topology.isp import build_isp_topology
 from repro.units import mbps
+from repro.workloads.traffic import FlowWorkload, local_pairs
 
 
 @register_scenario(
@@ -102,3 +105,62 @@ def scenario_load_sweep(
         demand_mbps=demand_mbps,
         flows_per_node=flows_per_node,
     )
+
+
+@register_scenario(
+    "load-sweep-large",
+    summary="event-driven 10k-100k flow Poisson sweep through the incremental core",
+    tags=("sweep", "flowsim", "scale"),
+)
+def scenario_load_sweep_large(
+    seed: int = 0,
+    isp: str = "sprint",
+    strategy: str = "sp",
+    num_flows: int = 10_000,
+    arrival_rate: float = 1500.0,
+    mean_size_mbit: float = 2.5,
+    demand_mbps: float = 10.0,
+    max_hops: int = 4,
+    detour_depth: int = 2,
+) -> Dict[str, Any]:
+    """One cell of the large event-driven load sweep (Fig. 3/4 regime).
+
+    Unlike the snapshot scenarios, this runs the full arrival/departure
+    dynamics: ``num_flows`` Poisson arrivals with locality-bounded
+    endpoints pushed through :class:`FlowLevelSimulator`'s incremental
+    core.  Grid ``num_flows=10000,...,100000`` against ``strategy`` and
+    ``arrival_rate`` traces throughput and FCT across operating points
+    at population sizes the pre-incremental core could not reach.
+    """
+    topo = build_isp_topology(isp, seed=0)
+    uses_detour = strategy in ("inrp", "urp")
+    kwargs = {"detour_depth": detour_depth} if uses_detour else {}
+    workload = FlowWorkload(
+        topo,
+        arrival_rate=arrival_rate,
+        mean_size_bits=mean_size_mbit * 1e6,
+        demand_bps=mbps(demand_mbps),
+        seed=seed,
+        pair_sampler=local_pairs(topo, seed=seed + 1, max_hops=max_hops),
+    )
+    specs = workload.generate(max_flows=num_flows)
+    result = FlowLevelSimulator(
+        topo, make_strategy(strategy, topo, **kwargs), specs
+    ).run()
+    fcts = sorted(record.fct for record in result.records if record.completed)
+    return {
+        "isp": isp,
+        "strategy": strategy,
+        "detour_depth": detour_depth if uses_detour else None,
+        "num_flows": num_flows,
+        "arrival_rate": arrival_rate,
+        "completed": len(fcts),
+        "unfinished": result.unfinished,
+        "allocations": result.allocations,
+        "duration": result.duration,
+        "network_throughput": result.network_throughput,
+        "mean_fct": result.mean_fct(),
+        "p50_fct": fcts[len(fcts) // 2] if fcts else None,
+        "p99_fct": fcts[int(len(fcts) * 0.99)] if fcts else None,
+        "total_switches": result.total_switches,
+    }

@@ -12,6 +12,13 @@ from typing import Callable, List, Optional
 
 from repro.errors import SimulationError
 
+#: Negative delays within this tolerance of zero (relative to the
+#: clock's magnitude) are float-rounding artefacts of computing an
+#: absolute time from ``now``; they are clamped rather than rejected.
+#: Kept within a few orders of magnitude of double-precision ulp so a
+#: genuinely-past schedule time still fails loudly.
+_SCHEDULE_CLAMP = 1e-12
+
 
 class Event:
     """A scheduled callback.  Create via :meth:`Simulator.schedule`."""
@@ -50,13 +57,22 @@ class Simulator:
         return event
 
     def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
-        """Run *fn* at absolute simulated *time* (>= now)."""
-        return self.schedule(time - self.now, fn)
+        """Run *fn* at absolute simulated *time* (>= now).
+
+        A *time* a sub-epsilon hair before ``now`` — the typical result
+        of re-deriving an absolute instant through float arithmetic —
+        schedules immediately instead of raising.
+        """
+        delay = time - self.now
+        if -_SCHEDULE_CLAMP * (1.0 + abs(self.now)) <= delay < 0.0:
+            delay = 0.0
+        return self.schedule(delay, fn)
 
     def run(self, until: float, max_events: Optional[int] = None) -> None:
         """Process events until the clock passes *until*.
 
-        ``max_events`` is a safety valve for tests: exceeding it raises
+        ``max_events`` is a safety valve for tests: it bounds the
+        number of events processed; attempting one more raises
         :class:`SimulationError` (runaway event loops fail loudly).
         """
         if until < self.now:
@@ -66,12 +82,12 @@ class Simulator:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(f"exceeded {max_events} events")
             self.now = event.time
             event.fn()
             processed += 1
             self.events_processed += 1
-            if max_events is not None and processed > max_events:
-                raise SimulationError(f"exceeded {max_events} events")
         self.now = until
 
     @property

@@ -18,7 +18,7 @@ provides:
   used by the Fig. 4 benches.
 """
 
-from repro.flowsim.allocation import max_min_allocation
+from repro.flowsim.allocation import IncrementalMaxMin, max_min_allocation
 from repro.flowsim.multipath import MultipathAllocation, inrp_allocation
 from repro.flowsim.flow import ActiveFlow, FlowRecord
 from repro.flowsim.strategies import (
@@ -33,6 +33,7 @@ from repro.flowsim.snapshots import SnapshotResult, snapshot_experiment
 
 __all__ = [
     "max_min_allocation",
+    "IncrementalMaxMin",
     "inrp_allocation",
     "MultipathAllocation",
     "ActiveFlow",

@@ -23,7 +23,7 @@ from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.routing.detour import DetourTable
-from repro.routing.paths import Path, path_links
+from repro.routing.paths import Path, cached_path_links
 from repro.topology.graph import link_key
 
 FlowId = Hashable
@@ -133,14 +133,22 @@ def inrp_allocation(
     """
     flows: Dict[FlowId, _FlowState] = {}
     residual: Dict[LinkId, float] = dict(capacities)
-    growth: Dict[LinkId, int] = {link: 0 for link in capacities}
+    # Sparse: only links currently carrying growing flows.  The
+    # saturation scan below runs every filling round, so iterating the
+    # handful of in-use links instead of the whole topology is a large
+    # win on big maps with localised load.
+    growth: Dict[LinkId, int] = {}
 
-    def _links(path: Path) -> List[LinkId]:
-        return path_links(path)
+    def _links(path: Path) -> Tuple[LinkId, ...]:
+        return cached_path_links(tuple(path))
 
     def _add_growth(path: Path, delta: int) -> None:
         for link in _links(path):
-            growth[link] += delta
+            count = growth.get(link, 0) + delta
+            if count:
+                growth[link] = count
+            else:
+                growth.pop(link, None)
 
     for flow_id, path in flow_paths.items():
         demand = demands[flow_id]

@@ -1,25 +1,48 @@
 """Event-driven flow-level simulator.
 
 Implements the standard fluid flow-level simulation loop: the rate
-vector is recomputed by the strategy's allocator at every flow arrival
-and departure; between events rates are constant, so deliveries and
-completion times are exact integrals.
+vector is recomputed at every flow arrival and departure; between
+events rates are constant, so deliveries and completion times are
+exact integrals.
+
+Two cores implement the loop:
+
+- the default **incremental** core keeps the next departure of every
+  flow in a lazy-invalidation heap (the tombstone pattern of
+  :mod:`repro.chunksim.engine`: a stale entry is skipped when popped,
+  never searched for), syncs each flow's delivered bits only when its
+  rate actually changes, and — for strategies whose sharing model is
+  e2e max-min — recomputes rates only for the connected component
+  dirtied by the event, via
+  :class:`repro.flowsim.allocation.IncrementalMaxMin`.  Same-instant
+  arrivals and departures are batched into a single recompute.  The
+  per-event cost is O(affected component · log flows) instead of
+  O(all active flows), which is what makes 100k-flow load sweeps
+  tractable.
+- the **reference** core is the original O(active)-per-event loop,
+  kept as the semantic baseline: equivalence tests assert both cores
+  produce the same :class:`SimulationResult` (within float tolerance)
+  and ``benchmarks/bench_flowsim.py`` measures the speedup against it.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.flowsim.flow import ActiveFlow, FlowRecord, stretch_of
 from repro.flowsim.strategies import RoutingStrategy
 from repro.metrics.timeseries import TimeWeightedMean
+from repro.routing.paths import cached_path_links
 from repro.topology.graph import Topology
 from repro.workloads.traffic import FlowSpec
 
 _EPS = 1e-9
+
+_CORES = ("auto", "incremental", "reference")
 
 
 @dataclass
@@ -54,14 +77,67 @@ class SimulationResult:
         return [record.stretch for record in self.records if record.delivered_bits > 0]
 
 
+class _FullRecompute:
+    """Allocation adapter calling ``strategy.allocate`` on the whole
+    population every recompute (works for any strategy, e.g. INRP whose
+    detour decisions are global)."""
+
+    incremental = False
+
+    def __init__(self, strategy: RoutingStrategy):
+        self._strategy = strategy
+        self._flows: Dict[int, Tuple[tuple, float]] = {}
+
+    def add(self, flow_id: int, path: tuple, demand: float) -> None:
+        self._flows[flow_id] = (path, demand)
+
+    def remove(self, flow_id: int) -> None:
+        del self._flows[flow_id]
+
+    def recompute(self):
+        outcome = self._strategy.allocate(self._flows)
+        return outcome.rates, outcome.splits, outcome.switches
+
+
+class _IncrementalRecompute:
+    """Allocation adapter over :class:`IncrementalMaxMin`: only the
+    dirty component is re-filled; untouched flows keep their rates (and
+    their departure-heap entries stay valid)."""
+
+    incremental = True
+
+    def __init__(self, allocator):
+        self._allocator = allocator
+
+    def add(self, flow_id: int, path: tuple, demand: float) -> None:
+        self._allocator.add_flow(flow_id, cached_path_links(tuple(path)), demand)
+
+    def remove(self, flow_id: int) -> None:
+        self._allocator.remove_flow(flow_id)
+
+    def recompute(self):
+        return self._allocator.recompute(), None, 0
+
+
 class FlowLevelSimulator:
     """Run a schedule of :class:`FlowSpec` under a routing strategy.
 
     Parameters
     ----------
     horizon:
-        Hard stop (seconds).  Flows still active then are reported as
+        Hard stop (seconds).  Flows completing exactly at the horizon
+        instant count as completed; flows still active are reported as
         unfinished with their partial delivery.
+    core:
+        ``"incremental"`` (departure heap + dirty-component
+        allocation), ``"reference"`` (the original full-rescan loop)
+        or ``"auto"`` (incremental).  Both cores produce the same
+        :class:`SimulationResult` up to float tolerance.
+    verify_allocator:
+        When the strategy supports incremental allocation, re-check
+        every incremental recompute against from-scratch
+        :func:`~repro.flowsim.allocation.max_min_allocation` (slow;
+        used by benchmarks and tests).
     """
 
     def __init__(
@@ -70,15 +146,201 @@ class FlowLevelSimulator:
         strategy: RoutingStrategy,
         specs: Sequence[FlowSpec],
         horizon: Optional[float] = None,
+        core: str = "auto",
+        verify_allocator: bool = False,
     ):
         if horizon is not None and horizon <= 0:
             raise SimulationError(f"horizon must be positive, got {horizon}")
+        if core not in _CORES:
+            raise ConfigurationError(
+                f"unknown core {core!r}; expected one of {', '.join(_CORES)}"
+            )
         self.topology = topology
         self.strategy = strategy
         self.specs = sorted(specs, key=lambda spec: (spec.arrival_time, spec.flow_id))
         self.horizon = horizon
+        self.core = "incremental" if core == "auto" else core
+        self.verify_allocator = verify_allocator
 
     def run(self) -> SimulationResult:
+        if self.core == "reference":
+            return self._run_reference()
+        return self._run_incremental()
+
+    def _make_adapter(self):
+        allocator = self.strategy.incremental_allocator(
+            verify=self.verify_allocator
+        )
+        if allocator is not None:
+            return _IncrementalRecompute(allocator)
+        return _FullRecompute(self.strategy)
+
+    def _run_incremental(self) -> SimulationResult:
+        active: Dict[int, ActiveFlow] = {}
+        last_sync: Dict[int, float] = {}
+        version: Dict[int, int] = {}
+        heap: List[Tuple[float, int, int, int]] = []  # (time, seq, fid, version)
+        records: List[FlowRecord] = []
+        delivered_meter = TimeWeightedMean()
+        offered_meter = TimeWeightedMean()
+        pending = list(self.specs)
+        pending.reverse()  # pop() yields earliest arrival
+        adapter = self._make_adapter()
+        now = 0.0
+        seq = 0
+        allocations = 0
+        total_switches = 0
+        sum_rate = 0.0
+        sum_demand = 0.0
+
+        def _peek_departure() -> float:
+            while heap:
+                time, _, fid, ver = heap[0]
+                if version.get(fid) != ver:
+                    heapq.heappop(heap)  # tombstone: rate changed or flow gone
+                    continue
+                return time
+            return math.inf
+
+        def _sync(fid: int, flow: ActiveFlow) -> None:
+            dt = now - last_sync[fid]
+            if dt > 0:
+                flow.record_delivery(dt)
+            last_sync[fid] = now
+
+        def _set_rate(
+            fid: int, flow: ActiveFlow, rate: float, splits: List[Tuple[tuple, float]]
+        ) -> None:
+            nonlocal sum_rate, seq
+            _sync(fid, flow)
+            sum_rate += rate - flow.rate_bps
+            flow.rate_bps = rate
+            flow.splits = splits
+            version[fid] += 1
+            if rate > _EPS:
+                departure = now + flow.remaining_bits / rate
+                heapq.heappush(heap, (departure, seq, fid, version[fid]))
+                seq += 1
+
+        def _drop(fid: int, flow: ActiveFlow, completion: Optional[float]) -> None:
+            nonlocal sum_rate, sum_demand
+            active.pop(fid)
+            version.pop(fid)  # invalidates any heap entries for fid
+            last_sync.pop(fid)
+            sum_rate -= flow.rate_bps
+            sum_demand -= flow.spec.demand_bps
+            adapter.remove(fid)
+            records.append(self._finalize(flow, completion_time=completion))
+
+        while pending or active:
+            next_arrival = pending[-1].arrival_time if pending else math.inf
+            next_departure = _peek_departure()
+            next_time = min(next_arrival, next_departure)
+            if self.horizon is not None:
+                next_time = min(next_time, self.horizon)
+            if math.isinf(next_time):
+                # Active flows exist but none can make progress and no
+                # arrivals remain: report them unfinished.
+                break
+
+            dt = next_time - now
+            if dt < -_EPS:
+                raise SimulationError("event time went backwards")
+            if dt > 0:
+                # The rate vector was constant over [now, next_time).
+                delivered_meter.observe(next_time, sum_rate)
+                offered_meter.observe(next_time, sum_demand)
+            now = next_time
+
+            # Departures due at this instant (batched; completions
+            # strictly before new arrivals at the same instant).
+            finished = False
+            while heap:
+                time, _, fid, ver = heap[0]
+                if version.get(fid) != ver:
+                    heapq.heappop(heap)
+                    continue
+                if time > now:
+                    break
+                heapq.heappop(heap)
+                flow = active[fid]
+                _sync(fid, flow)
+                if flow.done:
+                    _drop(fid, flow, completion=now)
+                    finished = True
+                    continue
+                # Float residue left the flow a hair short of done:
+                # re-arm its departure strictly in the future.
+                version[fid] += 1
+                departure = now + flow.remaining_bits / flow.rate_bps
+                if departure <= now:
+                    flow.remaining_bits = 0.0
+                    _drop(fid, flow, completion=now)
+                    finished = True
+                else:
+                    heapq.heappush(heap, (departure, seq, fid, version[fid]))
+                    seq += 1
+
+            if self.horizon is not None and now >= self.horizon:
+                break
+
+            arrived = False
+            while pending and pending[-1].arrival_time <= now + _EPS:
+                spec = pending.pop()
+                path = self.strategy.route(spec.flow_id, spec.source, spec.destination)
+                active[spec.flow_id] = ActiveFlow(
+                    spec=spec, primary_path=path, remaining_bits=spec.size_bits
+                )
+                version[spec.flow_id] = 0
+                last_sync[spec.flow_id] = now
+                sum_demand += spec.demand_bps
+                adapter.add(spec.flow_id, path, spec.demand_bps)
+                arrived = True
+
+            if (finished or arrived) and active:
+                rates, splits_map, switches = adapter.recompute()
+                allocations += 1
+                total_switches += switches
+                if adapter.incremental:
+                    # Only the dirty component came back; single-path
+                    # strategies always carry everything on the primary.
+                    for fid, rate in rates.items():
+                        flow = active[fid]
+                        if rate != flow.rate_bps:
+                            splits = (
+                                [(flow.primary_path, rate)] if rate > 0 else []
+                            )
+                            _set_rate(fid, flow, rate, splits)
+                else:
+                    for fid, flow in active.items():
+                        rate = rates.get(fid, 0.0)
+                        splits = [
+                            (path, split_rate)
+                            for path, split_rate in splits_map.get(fid, [])
+                            if split_rate > 0
+                        ]
+                        if rate != flow.rate_bps or splits != flow.splits:
+                            _set_rate(fid, flow, rate, splits)
+            elif not active:
+                sum_rate = 0.0  # exact reset: no accumulated float drift
+                sum_demand = 0.0
+
+        unfinished = len(active)
+        for fid, flow in active.items():
+            _sync(fid, flow)
+            records.append(self._finalize(flow, completion_time=None))
+        records.sort(key=lambda record: record.flow_id)
+        return self._result(
+            records,
+            delivered_meter,
+            offered_meter,
+            now,
+            allocations,
+            unfinished,
+            total_switches,
+        )
+
+    def _run_reference(self) -> SimulationResult:
         active: Dict[int, ActiveFlow] = {}
         records: List[FlowRecord] = []
         delivered_meter = TimeWeightedMean()
@@ -135,14 +397,16 @@ class FlowLevelSimulator:
                     flow.record_delivery(dt)
             now = next_time
 
-            if self.horizon is not None and now >= self.horizon:
-                break
-
-            # Completions strictly before new arrivals at the same instant.
+            # Completions strictly before new arrivals at the same
+            # instant — including at the horizon instant itself, so a
+            # flow finishing exactly at t == horizon counts completed.
             finished = [fid for fid, flow in active.items() if flow.done]
             for fid in finished:
                 flow = active.pop(fid)
                 records.append(self._finalize(flow, completion_time=now))
+
+            if self.horizon is not None and now >= self.horizon:
+                break
 
             arrived = False
             while pending and pending[-1].arrival_time <= now + _EPS:
@@ -160,7 +424,26 @@ class FlowLevelSimulator:
         for flow in active.values():
             records.append(self._finalize(flow, completion_time=None))
         records.sort(key=lambda record: record.flow_id)
+        return self._result(
+            records,
+            delivered_meter,
+            offered_meter,
+            now,
+            allocations,
+            unfinished,
+            total_switches,
+        )
 
+    @staticmethod
+    def _result(
+        records: List[FlowRecord],
+        delivered_meter: TimeWeightedMean,
+        offered_meter: TimeWeightedMean,
+        now: float,
+        allocations: int,
+        unfinished: int,
+        total_switches: int,
+    ) -> SimulationResult:
         offered_mean = offered_meter.mean
         throughput = (
             delivered_meter.mean / offered_mean if offered_mean > 0 else 0.0

@@ -17,14 +17,14 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Tuple
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
-from repro.flowsim.allocation import max_min_allocation
+from repro.flowsim.allocation import IncrementalMaxMin, max_min_allocation
 from repro.flowsim.multipath import inrp_allocation
 from repro.routing.detour import DetourTable
 from repro.routing.ecmp import all_shortest_paths, ecmp_hash
-from repro.routing.paths import Path, path_links
+from repro.routing.paths import Path, cached_path_links
 from repro.routing.shortest import shortest_path
 from repro.topology.graph import Node, Topology
 
@@ -66,6 +66,21 @@ class RoutingStrategy(abc.ABC):
     ) -> AllocationOutcome:
         """Allocate bandwidth to flows given ``{id: (path, demand)}``."""
 
+    def incremental_allocator(
+        self, verify: bool = False
+    ) -> Optional[IncrementalMaxMin]:
+        """Fresh incremental allocator, when the sharing model admits one.
+
+        Strategies whose allocation is plain e2e max-min over a single
+        path per flow (SP, ECMP) return an
+        :class:`~repro.flowsim.allocation.IncrementalMaxMin`; the
+        simulator then recomputes only the component dirtied by each
+        arrival/departure.  Strategies with global coupling (INRP's
+        detours can traverse any link) return ``None`` and are
+        recomputed in full.
+        """
+        return None
+
 
 class ShortestPathStrategy(RoutingStrategy):
     """Single shortest path with e2e max-min fair sharing."""
@@ -75,7 +90,9 @@ class ShortestPathStrategy(RoutingStrategy):
     def allocate(
         self, flows: Mapping[FlowId, Tuple[Path, float]]
     ) -> AllocationOutcome:
-        flow_links = {fid: path_links(path) for fid, (path, _) in flows.items()}
+        flow_links = {
+            fid: cached_path_links(tuple(path)) for fid, (path, _) in flows.items()
+        }
         demands = {fid: demand for fid, (_, demand) in flows.items()}
         rates = max_min_allocation(self.capacities, flow_links, demands)
         splits = {
@@ -83,6 +100,11 @@ class ShortestPathStrategy(RoutingStrategy):
             for fid in flows
         }
         return AllocationOutcome(rates=rates, splits=splits)
+
+    def incremental_allocator(
+        self, verify: bool = False
+    ) -> Optional[IncrementalMaxMin]:
+        return IncrementalMaxMin(self.capacities, verify=verify)
 
 
 class EcmpStrategy(ShortestPathStrategy):

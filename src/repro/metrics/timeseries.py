@@ -92,4 +92,6 @@ class RateEstimator:
             _, amount = self._events.popleft()
             self._sum -= amount
         if not self._events:
-            self._sum = max(self._sum, 0.0)
+            # An empty window means exactly zero: the repeated add/
+            # subtract cycle leaves float residue of either sign.
+            self._sum = 0.0

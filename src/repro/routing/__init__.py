@@ -7,6 +7,7 @@ reproducible across runs and platforms.
 
 from repro.routing.paths import (
     Path,
+    cached_path_links,
     path_hops,
     path_links,
     path_stretch,
@@ -31,6 +32,7 @@ from repro.routing.detour import (
 
 __all__ = [
     "Path",
+    "cached_path_links",
     "path_hops",
     "path_links",
     "path_stretch",

@@ -85,3 +85,54 @@ def test_max_events_guard():
     sim.schedule(0.0, rearm)
     with pytest.raises(SimulationError):
         sim.run(until=100.0, max_events=50)
+
+
+def test_max_events_allows_exactly_the_budget():
+    # max_events=N must process N events, not N+1, before raising.
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(0.1 * (i + 1), lambda i=i: fired.append(i))
+    sim.run(until=10.0, max_events=5)
+    assert fired == [0, 1, 2, 3, 4]
+
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(0.1 * (i + 1), lambda i=i: fired.append(i))
+    with pytest.raises(SimulationError):
+        sim.run(until=10.0, max_events=4)
+    assert fired == [0, 1, 2, 3]  # the budget-exceeding event never ran
+
+
+def test_max_events_ignores_tombstones():
+    sim = Simulator()
+    fired = []
+    cancelled = [sim.schedule(0.1, lambda: fired.append("no")) for _ in range(10)]
+    for event in cancelled:
+        event.cancel()
+    sim.schedule(0.2, lambda: fired.append("yes"))
+    sim.run(until=1.0, max_events=1)
+    assert fired == ["yes"]
+
+
+def test_schedule_at_clamps_float_rounding():
+    # Re-deriving an absolute time through float arithmetic can land a
+    # sub-epsilon hair before now; that must schedule, not raise.
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.3, lambda: None)
+    sim.run(until=0.3)
+    behind = sim.now - 1e-13
+    assert behind < sim.now
+    sim.schedule_at(behind, lambda: fired.append(sim.now))
+    sim.run(until=1.0)
+    assert fired == [pytest.approx(0.3)]
+
+
+def test_schedule_at_still_rejects_real_past_times():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run(until=1.0)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)

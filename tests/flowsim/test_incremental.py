@@ -1,0 +1,131 @@
+"""Incremental max-min allocator: equality with from-scratch filling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.flowsim import IncrementalMaxMin, max_min_allocation
+from repro.routing import shortest_path
+from repro.routing.paths import cached_path_links
+from repro.topology import mesh_topology
+from repro.units import mbps
+from repro.workloads import uniform_pairs
+
+
+def _assert_matches_scratch(allocator, capacities, flow_links, demands):
+    scratch = max_min_allocation(capacities, flow_links, demands)
+    rates = allocator.rates
+    assert set(rates) == set(scratch)
+    for flow, rate in scratch.items():
+        assert rates[flow] == pytest.approx(rate, abs=1e-6, rel=1e-6)
+
+
+def test_single_link_share_and_release():
+    allocator = IncrementalMaxMin({"l": 9.0})
+    for flow in (1, 2, 3):
+        allocator.add_flow(flow, ["l"], 100.0)
+    changed = allocator.recompute()
+    assert changed[1] == pytest.approx(3.0)
+    allocator.remove_flow(2)
+    changed = allocator.recompute()
+    assert changed[1] == pytest.approx(4.5)
+    assert changed[3] == pytest.approx(4.5)
+
+
+def test_untouched_component_is_not_recomputed():
+    # Two disjoint links: churn on "b" must not report "a"'s flow.
+    allocator = IncrementalMaxMin({"a": 10.0, "b": 10.0})
+    allocator.add_flow("left", ["a"], 100.0)
+    allocator.add_flow("right", ["b"], 100.0)
+    allocator.recompute()
+    allocator.add_flow("right2", ["b"], 100.0)
+    changed = allocator.recompute()
+    assert "left" not in changed
+    assert changed["right"] == pytest.approx(5.0)
+    assert changed["right2"] == pytest.approx(5.0)
+    assert allocator.rates["left"] == pytest.approx(10.0)
+
+
+def test_recompute_without_churn_is_empty():
+    allocator = IncrementalMaxMin({"l": 1.0})
+    allocator.add_flow(1, ["l"], 5.0)
+    allocator.recompute()
+    assert allocator.recompute() == {}
+
+
+def test_linkless_flow_gets_full_demand():
+    allocator = IncrementalMaxMin({"l": 1.0})
+    allocator.add_flow(1, [], 42.0)
+    assert allocator.recompute()[1] == 42.0
+
+
+def test_validation_errors():
+    allocator = IncrementalMaxMin({"l": 1.0})
+    with pytest.raises(SimulationError):
+        allocator.add_flow(1, ["nope"], 1.0)
+    with pytest.raises(SimulationError):
+        allocator.add_flow(1, ["l"], -1.0)
+    allocator.add_flow(1, ["l"], 1.0)
+    with pytest.raises(SimulationError):
+        allocator.add_flow(1, ["l"], 1.0)
+    with pytest.raises(SimulationError):
+        allocator.remove_flow(2)
+
+
+def test_membership_and_len():
+    allocator = IncrementalMaxMin({"l": 1.0})
+    assert 1 not in allocator and len(allocator) == 0
+    allocator.add_flow(1, ["l"], 1.0)
+    assert 1 in allocator and len(allocator) == 1
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    churn=st.lists(
+        st.integers(min_value=0, max_value=4), min_size=4, max_size=40
+    ),
+    demand=st.floats(min_value=0.5, max_value=30.0),
+)
+def test_incremental_matches_scratch_under_churn(seed, churn, demand):
+    """Property: after any add/remove sequence, the incremental rates
+    equal from-scratch progressive filling on the surviving flows."""
+    topo = mesh_topology(15, extra_links=12, seed=seed, capacity=10.0)
+    capacities = topo.link_capacities()
+    sampler = uniform_pairs(topo, seed=seed + 1)
+    allocator = IncrementalMaxMin(capacities)
+    flow_links = {}
+    demands = {}
+    next_id = 0
+    for action in churn:
+        if action == 0 and flow_links:
+            # Remove the oldest surviving flow.
+            victim = next(iter(flow_links))
+            allocator.remove_flow(victim)
+            del flow_links[victim]
+            del demands[victim]
+        else:
+            src, dst = sampler()
+            links = cached_path_links(shortest_path(topo, src, dst))
+            allocator.add_flow(next_id, links, demand)
+            flow_links[next_id] = links
+            demands[next_id] = demand
+            next_id += 1
+        allocator.recompute()
+        _assert_matches_scratch(allocator, capacities, flow_links, demands)
+
+
+def test_verify_mode_accepts_correct_state():
+    topo = mesh_topology(10, extra_links=8, seed=3, capacity=mbps(10))
+    capacities = topo.link_capacities()
+    sampler = uniform_pairs(topo, seed=4)
+    allocator = IncrementalMaxMin(capacities, verify=True)
+    for flow_id in range(12):
+        src, dst = sampler()
+        allocator.add_flow(
+            flow_id, cached_path_links(shortest_path(topo, src, dst)), mbps(5)
+        )
+        allocator.recompute()  # raises SimulationError on divergence
+    for flow_id in range(0, 12, 2):
+        allocator.remove_flow(flow_id)
+        allocator.recompute()

@@ -2,11 +2,13 @@
 
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.flowsim import FlowLevelSimulator, make_strategy
-from repro.topology import Topology, fig3_topology, line_topology
+from repro.topology import Topology, fig3_topology, line_topology, mesh_topology
 from repro.units import mbps
-from repro.workloads import FlowSpec
+from repro.workloads import FlowSpec, FlowWorkload, local_pairs
+
+CORES = ("incremental", "reference")
 
 
 def _spec(flow_id, src, dst, t, size_bits, demand=mbps(10)):
@@ -56,15 +58,46 @@ def test_staggered_arrival():
     assert fct[2] == pytest.approx(1.0)
 
 
-def test_horizon_reports_unfinished():
+@pytest.mark.parametrize("core", CORES)
+def test_horizon_reports_unfinished(core):
     topo = line_topology(2, capacity=mbps(1))
     specs = [_spec(1, 0, 1, 0.0, 100e6)]  # would need 100 s
     strategy = make_strategy("sp", topo)
-    result = FlowLevelSimulator(topo, strategy, specs, horizon=1.0).run()
+    result = FlowLevelSimulator(topo, strategy, specs, horizon=1.0, core=core).run()
     assert result.unfinished == 1
     record = result.records[0]
     assert not record.completed
     assert record.delivered_bits == pytest.approx(1e6, rel=0.01)
+
+
+@pytest.mark.parametrize("core", CORES)
+def test_completion_exactly_at_horizon_counts_completed(core):
+    # 10 Mbit at 10 Mbps completes at t == 1.0 == horizon: the flow
+    # must be finalized as completed, not reported unfinished.
+    topo = line_topology(2, capacity=mbps(10))
+    specs = [_spec(1, 0, 1, 0.0, 10e6)]
+    strategy = make_strategy("sp", topo)
+    result = FlowLevelSimulator(topo, strategy, specs, horizon=1.0, core=core).run()
+    assert result.unfinished == 0
+    record = result.records[0]
+    assert record.completed
+    assert record.fct == pytest.approx(1.0)
+    assert record.delivered_bits == pytest.approx(10e6)
+
+
+@pytest.mark.parametrize("core", CORES)
+def test_horizon_splits_completed_from_unfinished(core):
+    # Two flows share 10 Mbps: both run at 5 Mbps.  Flow 1 (5 Mbit)
+    # completes exactly at the 1.0 s horizon; flow 2 does not.
+    topo = line_topology(2, capacity=mbps(10))
+    specs = [_spec(1, 0, 1, 0.0, 5e6), _spec(2, 0, 1, 0.0, 50e6)]
+    strategy = make_strategy("sp", topo)
+    result = FlowLevelSimulator(topo, strategy, specs, horizon=1.0, core=core).run()
+    by_id = {record.flow_id: record for record in result.records}
+    assert by_id[1].completed and by_id[1].fct == pytest.approx(1.0)
+    assert not by_id[2].completed
+    assert by_id[2].delivered_bits == pytest.approx(5e6, rel=1e-6)
+    assert result.unfinished == 1
 
 
 def test_throughput_ratio_bounded():
@@ -108,3 +141,79 @@ def test_mean_fct_and_stretch_helpers():
     samples = result.stretch_samples()
     assert len(samples) == 2
     assert all(s >= 1.0 for s in samples)
+
+
+def test_unknown_core_rejected():
+    topo = line_topology(2)
+    with pytest.raises(ConfigurationError):
+        FlowLevelSimulator(topo, make_strategy("sp", topo), [], core="turbo")
+
+
+def _workload_specs(topo, seed, num_flows, arrival_rate=120.0):
+    workload = FlowWorkload(
+        topo,
+        arrival_rate=arrival_rate,
+        mean_size_bits=2e6,
+        demand_bps=mbps(10),
+        seed=seed,
+        pair_sampler=local_pairs(topo, seed=seed + 1, max_hops=4),
+    )
+    return workload.generate(max_flows=num_flows)
+
+
+def _assert_equivalent(ref, inc):
+    assert len(ref.records) == len(inc.records)
+    for a, b in zip(ref.records, inc.records):
+        assert a.flow_id == b.flow_id
+        assert a.completed == b.completed
+        if a.completed:
+            assert b.fct == pytest.approx(a.fct, rel=1e-6, abs=1e-9)
+        assert b.delivered_bits == pytest.approx(a.delivered_bits, rel=1e-6, abs=1e-3)
+        assert b.stretch == pytest.approx(a.stretch, rel=1e-6)
+    assert inc.unfinished == ref.unfinished
+    assert inc.network_throughput == pytest.approx(
+        ref.network_throughput, rel=1e-6
+    )
+    assert inc.duration == pytest.approx(ref.duration, rel=1e-6)
+    assert inc.total_switches == ref.total_switches
+
+
+@pytest.mark.parametrize("strategy_name", ["sp", "ecmp", "inrp"])
+@pytest.mark.parametrize("seed", [0, 7])
+def test_cores_equivalent_on_random_workloads(strategy_name, seed):
+    """The incremental core is a drop-in for the reference loop: same
+    records, same aggregates, for every strategy."""
+    topo = mesh_topology(24, extra_links=20, seed=seed, capacity=mbps(10))
+    num_flows = 60 if strategy_name == "inrp" else 150
+    specs = _workload_specs(topo, seed=seed, num_flows=num_flows)
+    runs = {}
+    for core in CORES:
+        strategy = make_strategy(strategy_name, topo)
+        runs[core] = FlowLevelSimulator(topo, strategy, specs, core=core).run()
+    _assert_equivalent(runs["reference"], runs["incremental"])
+
+
+@pytest.mark.parametrize("core", CORES)
+def test_incremental_allocator_verified_inside_simulator(core):
+    """verify_allocator re-checks every dirty-component recompute
+    against from-scratch max-min; any divergence raises."""
+    topo = mesh_topology(18, extra_links=14, seed=3, capacity=mbps(10))
+    specs = _workload_specs(topo, seed=3, num_flows=80)
+    strategy = make_strategy("sp", topo)
+    sim = FlowLevelSimulator(
+        topo, strategy, specs, core=core, verify_allocator=True
+    )
+    result = sim.run()
+    assert result.unfinished == 0
+
+
+def test_cores_equivalent_with_horizon():
+    topo = mesh_topology(20, extra_links=16, seed=11, capacity=mbps(10))
+    specs = _workload_specs(topo, seed=11, num_flows=120)
+    runs = {}
+    for core in CORES:
+        strategy = make_strategy("sp", topo)
+        runs[core] = FlowLevelSimulator(
+            topo, strategy, specs, horizon=0.6, core=core
+        ).run()
+    _assert_equivalent(runs["reference"], runs["incremental"])

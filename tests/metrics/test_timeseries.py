@@ -45,6 +45,26 @@ def test_rate_estimator_total():
     assert est.total(2.5) == pytest.approx(7.0)
 
 
+def test_rate_estimator_drained_window_is_exactly_zero():
+    # 0.1 + 0.3 accumulates to 0.4, but subtracting the amounts back
+    # out leaves ~4.4e-17 of positive float residue; a drained window
+    # must report exactly 0.0, not the drift.
+    est = RateEstimator(window=1.0)
+    est.record(0.0, 0.1)
+    est.record(0.1, 0.3)
+    assert est.rate(5.0) == 0.0
+    assert est.total(5.0) == 0.0
+
+
+def test_rate_estimator_reusable_after_drain():
+    est = RateEstimator(window=1.0)
+    est.record(0.0, 0.1)
+    est.record(0.1, 0.3)
+    est.rate(10.0)  # drains
+    est.record(10.5, 2.0)
+    assert est.rate(10.6) == pytest.approx(2.0)
+
+
 def test_rate_estimator_validation():
     with pytest.raises(ConfigurationError):
         RateEstimator(window=0.0)
