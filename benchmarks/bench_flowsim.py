@@ -1,20 +1,38 @@
 #!/usr/bin/env python
-"""Flow-level simulator core benchmark: incremental vs reference.
+"""Flow-level simulator core benchmark: incremental vs reference vs auto.
 
-Runs the same Poisson load sweep through both `FlowLevelSimulator`
-cores and reports the wall-clock speedup plus an equivalence check
-(per-flow completion times and delivered bits must agree within 1e-6
-relative).  A separate verification pass re-checks every incremental
-recompute against from-scratch ``max_min_allocation``.
+Runs a set of calibrated operating points through the
+`FlowLevelSimulator` cores and reports wall-clock speedups plus
+cross-core equivalence (per-flow completion times and delivered bits
+within 1e-6 relative) and incremental-vs-scratch allocator verification
+(re-checked every recompute on a bounded slice; must stay within 1e-9).
+
+Points:
+
+``sp-calibrated``
+    The PR-3 point: sprint map, SP, local pairs within 4 hops, rho < 1.
+    Dirty max-min components are small; the incremental core wins big.
+``inrp-calibrated``
+    The paper's own strategy through the detour-closure allocator
+    (`IncrementalInrp`): sprint, local pairs within 3 hops, rho < 1.
+``inrp-overload``
+    Deep overload (exodus, uniform pairs, arrivals far above the drain
+    rate): the population snowballs into one spanning component where
+    pure dirty-component search loses to full refills — the regime the
+    adaptive ``core="auto"`` exists for, so this point runs all three
+    cores and reports auto against the better of the other two.
 
 Unlike the pytest-benchmark drivers next door, this is a standalone
-script so CI can run it and archive the JSON record::
+script so CI can run it and diff-check the JSON record against the
+committed ``BENCH_flowsim.json``::
 
-    python benchmarks/bench_flowsim.py --smoke --out BENCH_flowsim.json
-    python benchmarks/bench_flowsim.py --flows 10000   # the full sweep
+    python benchmarks/bench_flowsim.py --smoke --check-against BENCH_flowsim.json
+    python benchmarks/bench_flowsim.py                  # the full sweep
+    python benchmarks/bench_flowsim.py --points inrp-calibrated
 
-Exit status is non-zero when equivalence or verification fails, or
-when ``--min-speedup`` is given and not met.
+Exit status is non-zero when equivalence, verification, an explicit
+``--min-inrp-speedup`` / ``--max-auto-ratio`` bar, or the
+``--check-against`` diff fails.
 """
 
 from __future__ import annotations
@@ -30,21 +48,75 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import FlowLevelSimulator, FlowWorkload, build_isp_topology, make_strategy
 from repro.units import mbps
-from repro.workloads import local_pairs
+from repro.workloads import local_pairs, uniform_pairs
 
 #: Relative tolerance for cross-core record equivalence.
 TOLERANCE = 1e-6
+#: Incremental-vs-scratch allocator verification bar.
+VERIFY_TOLERANCE = 1e-9
+
+#: The calibrated operating points.  ``flows_smoke`` sizes the CI run;
+#: ``verify_flows`` bounds the (quadratic) from-scratch verification.
+POINTS = {
+    "sp-calibrated": dict(
+        isp="sprint",
+        strategy="sp",
+        arrival_rate=1500.0,
+        mean_size_mbit=2.5,
+        demand_mbps=10.0,
+        pairs="local",
+        max_hops=4,
+        seed=1,
+        flows_full=10_000,
+        flows_smoke=2_000,
+        verify_flows=2_000,
+        cores=("reference", "incremental"),
+    ),
+    "inrp-calibrated": dict(
+        isp="sprint",
+        strategy="inrp",
+        arrival_rate=800.0,
+        mean_size_mbit=2.5,
+        demand_mbps=10.0,
+        pairs="local",
+        max_hops=3,
+        seed=1,
+        flows_full=10_000,
+        flows_smoke=2_000,
+        verify_flows=600,
+        cores=("reference", "incremental"),
+    ),
+    "inrp-overload": dict(
+        isp="exodus",
+        strategy="inrp",
+        arrival_rate=400.0,
+        mean_size_mbit=4.0,
+        demand_mbps=10.0,
+        pairs="uniform",
+        max_hops=None,
+        seed=1,
+        flows_full=1_500,
+        flows_smoke=500,
+        verify_flows=200,
+        cores=("reference", "incremental", "auto"),
+    ),
+}
 
 
-def build_specs(args, num_flows):
-    topo = build_isp_topology(args.isp, seed=0)
+def build_specs(point, num_flows):
+    topo = build_isp_topology(point["isp"], seed=0)
+    seed = point["seed"]
+    if point["pairs"] == "local":
+        sampler = local_pairs(topo, seed=seed + 1, max_hops=point["max_hops"])
+    else:
+        sampler = uniform_pairs(topo, seed=seed + 1)
     workload = FlowWorkload(
         topo,
-        arrival_rate=args.arrival_rate,
-        mean_size_bits=args.mean_size_mbit * 1e6,
-        demand_bps=mbps(args.demand_mbps),
-        seed=args.seed,
-        pair_sampler=local_pairs(topo, seed=args.seed + 1, max_hops=args.max_hops),
+        arrival_rate=point["arrival_rate"],
+        mean_size_bits=point["mean_size_mbit"] * 1e6,
+        demand_bps=mbps(point["demand_mbps"]),
+        seed=seed,
+        pair_sampler=sampler,
     )
     return topo, workload.generate(max_flows=num_flows)
 
@@ -59,95 +131,101 @@ def run_core(topo, strategy_name, specs, core, verify=False):
     return result, time.perf_counter() - start
 
 
-def check_equivalence(reference, incremental):
-    """Worst relative deviation between the two cores' records."""
+def check_equivalence(reference, other):
+    """Worst relative deviation between two cores' records."""
     worst = 0.0
-    for ref, inc in zip(reference.records, incremental.records):
-        if ref.flow_id != inc.flow_id or ref.completed != inc.completed:
+    for ref, oth in zip(reference.records, other.records):
+        if ref.flow_id != oth.flow_id or ref.completed != oth.completed:
             return math.inf
         if ref.completed:
-            worst = max(worst, abs(ref.fct - inc.fct) / max(abs(ref.fct), 1e-12))
+            worst = max(worst, abs(ref.fct - oth.fct) / max(abs(ref.fct), 1e-12))
         worst = max(
             worst,
-            abs(ref.delivered_bits - inc.delivered_bits) / max(ref.size_bits, 1.0),
+            abs(ref.delivered_bits - oth.delivered_bits) / max(ref.size_bits, 1.0),
         )
     worst = max(
         worst,
-        abs(reference.network_throughput - incremental.network_throughput)
+        abs(reference.network_throughput - other.network_throughput)
         / max(reference.network_throughput, 1e-12),
     )
     return worst
 
 
-def main(argv=None):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--flows", type=int, default=10_000, help="sweep size")
-    parser.add_argument("--isp", default="sprint", help="ISP map (Table 1 name)")
-    parser.add_argument("--strategy", default="sp", help="routing strategy")
-    parser.add_argument("--arrival-rate", type=float, default=1500.0)
-    parser.add_argument("--mean-size-mbit", type=float, default=2.5)
-    parser.add_argument("--demand-mbps", type=float, default=10.0)
-    parser.add_argument("--max-hops", type=int, default=4)
-    parser.add_argument("--seed", type=int, default=1)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="CI-sized run (2000 flows) with full allocator verification",
-    )
-    parser.add_argument(
-        "--verify-flows",
-        type=int,
-        default=2000,
-        help="size of the from-scratch allocator verification pass",
-    )
-    parser.add_argument("--min-speedup", type=float, default=None)
-    parser.add_argument("--out", default=None, help="write the JSON record here")
-    args = parser.parse_args(argv)
-
-    num_flows = 2000 if args.smoke else args.flows
-    topo, specs = build_specs(args, num_flows)
+def run_point(name, point, num_flows, verify_flows):
+    topo, specs = build_specs(point, num_flows)
     print(
-        f"flowsim bench: {args.isp} ({topo.num_nodes} nodes), "
-        f"{num_flows} flows, strategy={args.strategy}",
+        f"[{name}] {point['isp']} ({topo.num_nodes} nodes), {num_flows} flows, "
+        f"strategy={point['strategy']}, pairs={point['pairs']}",
+        flush=True,
+    )
+    results, seconds, full_refills = {}, {}, {}
+    for core in point["cores"]:
+        results[core], seconds[core] = run_core(
+            topo, point["strategy"], specs, core
+        )
+        full_refills[core] = results[core].full_refills
+        print(f"  {core:12s} core: {seconds[core]:8.2f}s", flush=True)
+
+    worst = max(
+        check_equivalence(results["reference"], results[core])
+        for core in point["cores"]
+        if core != "reference"
+    )
+    speedup = (
+        seconds["reference"] / seconds["incremental"]
+        if seconds["incremental"] > 0
+        else math.inf
+    )
+    print(
+        f"  speedup {speedup:.2f}x, worst record deviation {worst:.2e}",
+        flush=True,
+    )
+    auto_vs_best = None
+    if "auto" in seconds:
+        best = min(seconds["reference"], seconds["incremental"])
+        auto_vs_best = seconds["auto"] / best if best > 0 else math.inf
+        print(f"  auto vs best-of-others: {auto_vs_best:.2f}x", flush=True)
+
+    # Every incremental recompute re-checked against the from-scratch
+    # allocator (quadratic, so on a bounded slice of the sweep).
+    verify_specs = specs[: min(len(specs), verify_flows)]
+    verified, _ = run_core(
+        topo, point["strategy"], verify_specs, "incremental", verify=True
+    )
+    max_deviation = verified.max_verify_deviation or 0.0
+    print(
+        f"  allocator verified from scratch on {len(verify_specs)} flows "
+        f"(max deviation {max_deviation:.2e})",
         flush=True,
     )
 
-    reference, reference_s = run_core(topo, args.strategy, specs, "reference")
-    print(f"  reference core:   {reference_s:8.2f}s", flush=True)
-    incremental, incremental_s = run_core(topo, args.strategy, specs, "incremental")
-    print(f"  incremental core: {incremental_s:8.2f}s", flush=True)
-    speedup = reference_s / incremental_s if incremental_s > 0 else math.inf
-    worst = check_equivalence(reference, incremental)
-    print(f"  speedup {speedup:.2f}x, worst record deviation {worst:.2e}", flush=True)
-
-    # Every incremental recompute re-checked against from-scratch
-    # max-min (quadratic, so on a bounded slice of the sweep).
-    verified = None
-    if args.strategy in ("sp", "ecmp"):
-        verify_specs = specs[: min(len(specs), args.verify_flows)]
-        run_core(topo, args.strategy, verify_specs, "incremental", verify=True)
-        verified = len(verify_specs)
-        print(f"  allocator verified from scratch on {verified} flows", flush=True)
-
-    record = {
-        "bench": "flowsim-core",
+    reference = results["reference"]
+    return {
         "params": {
-            "isp": args.isp,
-            "strategy": args.strategy,
-            "num_flows": num_flows,
-            "arrival_rate": args.arrival_rate,
-            "mean_size_mbit": args.mean_size_mbit,
-            "demand_mbps": args.demand_mbps,
-            "max_hops": args.max_hops,
-            "seed": args.seed,
-            "smoke": args.smoke,
+            key: point[key]
+            for key in (
+                "isp",
+                "strategy",
+                "arrival_rate",
+                "mean_size_mbit",
+                "demand_mbps",
+                "pairs",
+                "max_hops",
+                "seed",
+            )
         },
-        "reference_seconds": round(reference_s, 4),
-        "incremental_seconds": round(incremental_s, 4),
+        "num_flows": num_flows,
+        "seconds": {core: round(value, 4) for core, value in seconds.items()},
         "speedup": round(speedup, 3),
+        "auto_vs_best": None if auto_vs_best is None else round(auto_vs_best, 3),
         "worst_record_deviation": worst,
         "equivalent": worst <= TOLERANCE,
-        "allocator_verified_flows": verified,
+        "full_refills": full_refills,
+        "verify": {
+            "flows": len(verify_specs),
+            "max_deviation": max_deviation,
+            "ok": max_deviation <= VERIFY_TOLERANCE,
+        },
         "result": {
             "completed": len(reference.completed_records),
             "unfinished": reference.unfinished,
@@ -155,22 +233,175 @@ def main(argv=None):
             "network_throughput": reference.network_throughput,
             "mean_fct": reference.mean_fct(),
             "duration": reference.duration,
+            "total_switches": reference.total_switches,
         },
     }
+
+
+def check_against(record, committed_path):
+    """Diff the fresh record against the committed trajectory file.
+
+    Deterministic simulation outputs must agree tightly; wall-clock
+    derived numbers (speedup, auto ratio) only generously — CI runners
+    are noisy and share cores.
+    """
+    path = Path(committed_path)
+    if not path.exists():
+        return [
+            f"committed trajectory file not found: {committed_path} "
+            f"(generate it with --merge-into)"
+        ]
+    committed = json.loads(path.read_text())
+    section = committed.get(record["mode"])
+    if section is None:
+        return [f"committed file has no '{record['mode']}' section"]
+    failures = []
+    for name, fresh in record["points"].items():
+        baseline = section["points"].get(name)
+        if baseline is None:
+            failures.append(f"{name}: missing from committed record")
+            continue
+        for field in ("completed", "unfinished", "allocations"):
+            if fresh["result"][field] != baseline["result"][field]:
+                failures.append(
+                    f"{name}: {field} changed "
+                    f"{baseline['result'][field]} -> {fresh['result'][field]}"
+                )
+        for field in ("network_throughput", "mean_fct", "duration"):
+            old, new = baseline["result"][field], fresh["result"][field]
+            if old is None or new is None:
+                if old != new:
+                    failures.append(f"{name}: {field} changed {old} -> {new}")
+                continue
+            if abs(new - old) > 1e-6 * max(abs(old), 1e-12):
+                failures.append(f"{name}: {field} changed {old} -> {new}")
+        # Timing: generous floors, not equality.
+        if fresh["speedup"] < 0.4 * baseline["speedup"]:
+            failures.append(
+                f"{name}: speedup regressed {baseline['speedup']}x -> "
+                f"{fresh['speedup']}x (floor is 40% of committed)"
+            )
+        if baseline.get("auto_vs_best") and fresh.get("auto_vs_best"):
+            ceiling = max(1.6, 1.8 * baseline["auto_vs_best"])
+            if fresh["auto_vs_best"] > ceiling:
+                failures.append(
+                    f"{name}: auto_vs_best regressed "
+                    f"{baseline['auto_vs_best']}x -> {fresh['auto_vs_best']}x "
+                    f"(ceiling {ceiling:.2f}x)"
+                )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--points",
+        default=None,
+        help="comma-separated subset of points (default: all)",
+    )
+    parser.add_argument("--flows", type=int, default=None, help="override sweep size")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run (per-point smoke sizes) with allocator verification",
+    )
+    parser.add_argument("--min-inrp-speedup", type=float, default=None)
+    parser.add_argument(
+        "--max-auto-ratio",
+        type=float,
+        default=None,
+        help="fail if auto exceeds this multiple of the better core at overload",
+    )
+    parser.add_argument("--out", default=None, help="write the JSON record here")
+    parser.add_argument(
+        "--merge-into",
+        default=None,
+        help="insert this run under its mode key ('smoke'/'full') in a "
+        "trajectory file holding both sections — how the committed "
+        "BENCH_flowsim.json is (re)generated",
+    )
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        help="diff-check results against a committed BENCH_flowsim.json",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(POINTS) if args.points is None else args.points.split(",")
+    unknown = [name for name in names if name not in POINTS]
+    if unknown:
+        print(f"unknown point(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    record = {
+        "bench": "flowsim-core",
+        "mode": "smoke" if args.smoke else "full",
+        "points": {},
+    }
+    for name in names:
+        point = POINTS[name]
+        num_flows = args.flows or (
+            point["flows_smoke"] if args.smoke else point["flows_full"]
+        )
+        verify_flows = min(point["verify_flows"], num_flows)
+        record["points"][name] = run_point(name, point, num_flows, verify_flows)
+
     if args.out:
         Path(args.out).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
-        print(f"  wrote {args.out}", flush=True)
-
-    if not record["equivalent"]:
-        print(f"FAIL: cores diverged beyond {TOLERANCE}", file=sys.stderr)
-        return 1
-    if args.min_speedup is not None and speedup < args.min_speedup:
-        print(
-            f"FAIL: speedup {speedup:.2f}x below required {args.min_speedup}x",
-            file=sys.stderr,
+        print(f"wrote {args.out}", flush=True)
+    if args.merge_into:
+        trajectory_path = Path(args.merge_into)
+        trajectory = (
+            json.loads(trajectory_path.read_text())
+            if trajectory_path.exists()
+            else {"bench": record["bench"]}
         )
-        return 1
-    return 0
+        trajectory[record["mode"]] = {"points": record["points"]}
+        trajectory_path.write_text(
+            json.dumps(trajectory, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"merged '{record['mode']}' section into {args.merge_into}", flush=True)
+
+    status = 0
+    for name, point_record in record["points"].items():
+        if not point_record["equivalent"]:
+            print(f"FAIL: {name}: cores diverged beyond {TOLERANCE}", file=sys.stderr)
+            status = 1
+        if not point_record["verify"]["ok"]:
+            print(
+                f"FAIL: {name}: incremental-vs-scratch deviation "
+                f"{point_record['verify']['max_deviation']:.2e} exceeds "
+                f"{VERIFY_TOLERANCE}",
+                file=sys.stderr,
+            )
+            status = 1
+    if args.min_inrp_speedup is not None:
+        inrp = record["points"].get("inrp-calibrated")
+        if inrp and inrp["speedup"] < args.min_inrp_speedup:
+            print(
+                f"FAIL: INRP speedup {inrp['speedup']}x below "
+                f"{args.min_inrp_speedup}x",
+                file=sys.stderr,
+            )
+            status = 1
+    if args.max_auto_ratio is not None:
+        overload = record["points"].get("inrp-overload")
+        if overload and overload["auto_vs_best"] > args.max_auto_ratio:
+            print(
+                f"FAIL: adaptive core {overload['auto_vs_best']}x of the better "
+                f"core at overload (bar {args.max_auto_ratio}x)",
+                file=sys.stderr,
+            )
+            status = 1
+    if args.check_against:
+        failures = check_against(record, args.check_against)
+        for failure in failures:
+            print(f"FAIL: trajectory check: {failure}", file=sys.stderr)
+        if failures:
+            status = 1
+        else:
+            print(f"trajectory check against {args.check_against}: ok", flush=True)
+    return status
 
 
 if __name__ == "__main__":

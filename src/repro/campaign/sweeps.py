@@ -122,6 +122,7 @@ def scenario_load_sweep_large(
     demand_mbps: float = 10.0,
     max_hops: int = 4,
     detour_depth: int = 2,
+    core: str = "auto",
 ) -> Dict[str, Any]:
     """One cell of the large event-driven load sweep (Fig. 3/4 regime).
 
@@ -145,7 +146,7 @@ def scenario_load_sweep_large(
     )
     specs = workload.generate(max_flows=num_flows)
     result = FlowLevelSimulator(
-        topo, make_strategy(strategy, topo, **kwargs), specs
+        topo, make_strategy(strategy, topo, **kwargs), specs, core=core
     ).run()
     fcts = sorted(record.fct for record in result.records if record.completed)
     return {
@@ -154,9 +155,11 @@ def scenario_load_sweep_large(
         "detour_depth": detour_depth if uses_detour else None,
         "num_flows": num_flows,
         "arrival_rate": arrival_rate,
+        "core": core,
         "completed": len(fcts),
         "unfinished": result.unfinished,
         "allocations": result.allocations,
+        "full_refills": result.full_refills,
         "duration": result.duration,
         "network_throughput": result.network_throughput,
         "mean_fct": result.mean_fct(),
@@ -164,3 +167,43 @@ def scenario_load_sweep_large(
         "p99_fct": fcts[int(len(fcts) * 0.99)] if fcts else None,
         "total_switches": result.total_switches,
     }
+
+
+@register_scenario(
+    "inrp-load-sweep-large",
+    summary="event-driven 10k+ flow INRP sweep through the incremental detour-closure core",
+    tags=("sweep", "flowsim", "scale", "inrp"),
+)
+def scenario_inrp_load_sweep_large(
+    seed: int = 0,
+    isp: str = "sprint",
+    num_flows: int = 10_000,
+    arrival_rate: float = 800.0,
+    mean_size_mbit: float = 2.5,
+    demand_mbps: float = 10.0,
+    max_hops: int = 3,
+    detour_depth: int = 2,
+    core: str = "auto",
+) -> Dict[str, Any]:
+    """The ``load-sweep-large`` dynamics for the paper's own strategy.
+
+    INRP is the headline of Fig. 4, and since the detour-closure
+    allocator (:class:`repro.flowsim.allocation.IncrementalInrp`) it
+    runs event-driven at the same population sizes as SP/ECMP.  The
+    defaults are the calibrated INRP operating point (sprint, local
+    pairs within 3 hops, ρ < 1: ~0.75 network throughput, components a
+    fraction of the active set); grid ``num_flows`` / ``arrival_rate``
+    / ``core`` to trace scaling or to compare the cores themselves.
+    """
+    return scenario_load_sweep_large(
+        seed=seed,
+        isp=isp,
+        strategy="inrp",
+        num_flows=num_flows,
+        arrival_rate=arrival_rate,
+        mean_size_mbit=mean_size_mbit,
+        demand_mbps=demand_mbps,
+        max_hops=max_hops,
+        detour_depth=detour_depth,
+        core=core,
+    )

@@ -18,7 +18,12 @@ provides:
   used by the Fig. 4 benches.
 """
 
-from repro.flowsim.allocation import IncrementalMaxMin, max_min_allocation
+from repro.flowsim.allocation import (
+    IncrementalInrp,
+    IncrementalMaxMin,
+    detour_closure,
+    max_min_allocation,
+)
 from repro.flowsim.multipath import MultipathAllocation, inrp_allocation
 from repro.flowsim.flow import ActiveFlow, FlowRecord
 from repro.flowsim.strategies import (
@@ -34,6 +39,8 @@ from repro.flowsim.snapshots import SnapshotResult, snapshot_experiment
 __all__ = [
     "max_min_allocation",
     "IncrementalMaxMin",
+    "IncrementalInrp",
+    "detour_closure",
     "inrp_allocation",
     "MultipathAllocation",
     "ActiveFlow",

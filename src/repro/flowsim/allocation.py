@@ -15,9 +15,23 @@ flows (Fig. 3 left: rates (2, 8) on the shared 10 Mbps link).
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, List, Mapping, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.errors import SimulationError
+from repro.flowsim.multipath import inrp_allocation
+from repro.flowsim.multipath import _rel_tol as _fill_rel_tol
+from repro.routing.detour import DetourTable
+from repro.routing.paths import Path, cached_path_links
 
 FlowId = Hashable
 LinkId = Hashable
@@ -146,6 +160,9 @@ class IncrementalMaxMin:
     after every recompute, for benchmarks and debugging).
     """
 
+    #: The simulator's adapter passes link tuples (not node paths).
+    needs_paths = False
+
     def __init__(self, capacities: Mapping[LinkId, float], verify: bool = False):
         self._capacities: Dict[LinkId, float] = {
             link: float(capacity) for link, capacity in capacities.items()
@@ -157,6 +174,9 @@ class IncrementalMaxMin:
         self._dirty_links: Set[LinkId] = set()
         self._dirty_flows: Set[FlowId] = set()
         self._verify = verify
+        #: Worst relative incremental-vs-scratch rate deviation seen by
+        #: ``verify=True`` (0.0 until the first verified recompute).
+        self.max_verify_deviation = 0.0
 
     def __len__(self) -> int:
         return len(self._flow_links)
@@ -206,31 +226,33 @@ class IncrementalMaxMin:
                     del self._members[link]
             self._dirty_links.add(link)
 
-    def recompute(self) -> Dict[FlowId, float]:
+    def recompute(self, full: bool = False) -> Dict[FlowId, float]:
         """Re-fill the dirty components; return their new rate vectors.
 
         The returned mapping covers exactly the flows whose rate *may*
         have changed since the previous call (the closure of all links
         touched by add/remove).  Flows outside it keep their previous
         rates.  Returns ``{}`` when nothing is dirty.
+
+        With ``full=True`` the whole population is re-filled in one
+        pass, skipping the dirty-component search entirely.  The
+        adaptive ``core="auto"`` of the simulator uses this when the
+        dirty component keeps spanning the active set (deep overload),
+        where the component BFS and subset copies are pure overhead.
         """
+        if full:
+            changed = max_min_allocation(
+                self._capacities, self._flow_links, self._demands
+            )
+            self._rates = dict(changed)
+            self._dirty_links.clear()
+            self._dirty_flows.clear()
+            if self._verify:
+                self._check_against_scratch()
+            return changed
         if not self._dirty_links and not self._dirty_flows:
             return {}
-        component: Set[FlowId] = set()
-        stack: List[LinkId] = [
-            link for link in self._dirty_links if link in self._members
-        ]
-        seen_links: Set[LinkId] = set(stack)
-        while stack:
-            link = stack.pop()
-            for flow in self._members[link]:
-                if flow in component:
-                    continue
-                component.add(flow)
-                for other in self._flow_links[flow]:
-                    if other not in seen_links:
-                        seen_links.add(other)
-                        stack.append(other)
+        component = self._dirty_component()
         changed: Dict[FlowId, float] = {}
         for flow in self._dirty_flows:
             changed[flow] = self._demands[flow]
@@ -249,13 +271,413 @@ class IncrementalMaxMin:
             self._check_against_scratch()
         return changed
 
+    def _dirty_component(self) -> Set[FlowId]:
+        """Flows transitively reachable from the dirty links via
+        shared-link membership."""
+        component: Set[FlowId] = set()
+        stack: List[LinkId] = [
+            link for link in self._dirty_links if link in self._members
+        ]
+        seen_links: Set[LinkId] = set(stack)
+        while stack:
+            link = stack.pop()
+            for flow in self._members[link]:
+                if flow in component:
+                    continue
+                component.add(flow)
+                for other in self._flow_links[flow]:
+                    if other not in seen_links:
+                        seen_links.add(other)
+                        stack.append(other)
+        return component
+
+    def dirty_component_size(self) -> int:
+        """Flows the next :meth:`recompute` would re-fill, without
+        filling — the adaptive core's probe while in full-refill mode
+        (a BFS is far cheaper than a wasted spanning re-fill)."""
+        return len(self._dirty_component()) + len(self._dirty_flows)
+
     def _check_against_scratch(self) -> None:
         scratch = max_min_allocation(
             self._capacities, self._flow_links, self._demands
         )
         for flow, rate in scratch.items():
-            if abs(self._rates.get(flow, math.nan) - rate) > 1e-6 * (1.0 + abs(rate)):
+            current = self._rates.get(flow)
+            if current is None:
+                raise SimulationError(
+                    f"flow {flow!r} missing from incremental state"
+                )
+            deviation = abs(current - rate) / (1.0 + abs(rate))
+            if deviation > self.max_verify_deviation:
+                self.max_verify_deviation = deviation
+            if deviation > 1e-6:
                 raise SimulationError(
                     f"incremental rate for flow {flow!r} diverged: "
-                    f"{self._rates.get(flow)} != {rate}"
+                    f"{current} != {rate}"
                 )
+
+
+def detour_closure(
+    path: Path, detour_table: DetourTable, rounds: int
+) -> FrozenSet[LinkId]:
+    """Links reachable by INRP rerouting of a flow on *path*.
+
+    Round 0 is the primary path's links; each further round adds the
+    links of every detour option around the links found so far.  With
+    ``rounds = max_replacements`` this covers every link the fluid
+    filling (:func:`repro.flowsim.multipath.inrp_allocation`) can ever
+    *carry traffic on or read the residual of* for this flow: a link
+    introduced by the k-th replacement can only be detoured while the
+    replacement budget lasts, so its options are examined no deeper
+    than round ``max_replacements``.
+
+    Two flows whose closures share no link can therefore never
+    influence each other's INRP allocation — the decomposition
+    :class:`IncrementalInrp` is built on.
+    """
+    links: Set[LinkId] = set(cached_path_links(tuple(path)))
+    frontier = links
+    for _ in range(max(rounds, 0)):
+        grown: Set[LinkId] = set()
+        for u, v in frontier:
+            for option in detour_table.options(u, v):
+                for link in cached_path_links(tuple(option)):
+                    if link not in links:
+                        grown.add(link)
+        if not grown:
+            break
+        links |= grown
+        frontier = grown
+    return frozenset(links)
+
+
+class IncrementalInrp:
+    """INRP fluid allocation maintained incrementally under flow churn.
+
+    Detour coupling is local, not global: a flow can only ever touch
+    its primary links plus the detour options around them (its *detour
+    closure*, see :func:`detour_closure`).  INRP allocation therefore
+    decomposes over connected components of the closure flow-link
+    graph exactly like max-min decomposes over path components.  This
+    class tracks those components: :meth:`add_flow` /
+    :meth:`remove_flow` mark the flow's closure links dirty, and
+    :meth:`recompute` re-runs the fluid filling
+    (:func:`~repro.flowsim.multipath.inrp_allocation`) over the dirty
+    component alone — every other flow keeps its rate *and* its
+    per-path splits.
+
+    The rates returned are exactly those of a from-scratch
+    ``inrp_allocation`` over the whole population (``verify=True``
+    cross-checks after every recompute and records the worst observed
+    deviation in :attr:`max_verify_deviation`).
+
+    Parameters mirror :func:`~repro.flowsim.multipath.inrp_allocation`;
+    ``max_replacements`` additionally bounds the closure depth.
+    """
+
+    #: The simulator's adapter passes node paths (not link tuples).
+    needs_paths = True
+
+    def __init__(
+        self,
+        capacities: Mapping[LinkId, float],
+        detour_table: DetourTable,
+        max_replacements: int = 2,
+        max_switches_per_flow: int = 16,
+        verify: bool = False,
+        verify_tol: float = 1e-9,
+    ):
+        self._capacities: Dict[LinkId, float] = {
+            link: float(capacity) for link, capacity in capacities.items()
+        }
+        self._table = detour_table
+        self._max_replacements = max_replacements
+        self._max_switches = max_switches_per_flow
+        self._verify = verify
+        self._verify_tol = verify_tol
+        self._paths: Dict[FlowId, Path] = {}
+        self._demands: Dict[FlowId, float] = {}
+        self._order: Dict[FlowId, int] = {}
+        self._next_order = 0
+        self._closures: Dict[FlowId, FrozenSet[LinkId]] = {}
+        self._closure_cache: Dict[Path, FrozenSet[LinkId]] = {}
+        self._members: Dict[LinkId, Set[FlowId]] = {}
+        self._rates: Dict[FlowId, float] = {}
+        self._splits: Dict[FlowId, List[Tuple[Path, float]]] = {}
+        #: Per-link running usage, maintained only under ``verify=True``
+        #: to feed the :meth:`_pinned_usage` guard; see that docstring.
+        self._usage: Dict[LinkId, float] = {}
+        #: Saturation tolerances, hoisted out of the per-recompute fill
+        #: (they depend only on each link's capacity).
+        self._floors: Dict[LinkId, float] = {
+            link: _fill_rel_tol(capacity)
+            for link, capacity in self._capacities.items()
+        }
+        self._dirty_links: Set[LinkId] = set()
+        self._dirty_flows: Set[FlowId] = set()
+        #: Active flows with an empty closure (src == dst): they carry
+        #: no traffic and are excluded from the fluid fill.
+        self._no_closure: Set[FlowId] = set()
+        #: Worst relative incremental-vs-scratch rate deviation seen by
+        #: ``verify=True`` (0.0 until the first verified recompute).
+        self.max_verify_deviation = 0.0
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __contains__(self, flow: FlowId) -> bool:
+        return flow in self._paths
+
+    @property
+    def rates(self) -> Dict[FlowId, float]:
+        """Current rate vector (a copy; call after :meth:`recompute`)."""
+        return dict(self._rates)
+
+    @property
+    def splits(self) -> Dict[FlowId, List[Tuple[Path, float]]]:
+        """Current per-path splits (a copy)."""
+        return {flow: list(parts) for flow, parts in self._splits.items()}
+
+    def _closure_of(self, path: Path) -> FrozenSet[LinkId]:
+        closure = self._closure_cache.get(path)
+        if closure is None:
+            closure = detour_closure(path, self._table, self._max_replacements)
+            self._closure_cache[path] = closure
+        return closure
+
+    def add_flow(self, flow: FlowId, path: Path, demand: float) -> None:
+        """Register an arriving flow; its closure component becomes dirty."""
+        if flow in self._paths:
+            raise SimulationError(f"flow {flow!r} already present")
+        if demand < 0:
+            raise SimulationError(f"flow {flow!r} has negative demand")
+        path = tuple(path)
+        for link in cached_path_links(path):
+            if link not in self._capacities:
+                raise SimulationError(f"flow {flow!r} uses unknown link {link!r}")
+        self._paths[flow] = path
+        self._demands[flow] = float(demand)
+        self._order[flow] = self._next_order
+        self._next_order += 1
+        closure = self._closure_of(path)
+        self._closures[flow] = closure
+        for link in closure:
+            self._members.setdefault(link, set()).add(flow)
+            self._dirty_links.add(link)
+        if not closure:
+            # Source == destination: never shares a link with anyone.
+            self._dirty_flows.add(flow)
+            self._no_closure.add(flow)
+
+    def remove_flow(self, flow: FlowId) -> None:
+        """Deregister a departing flow; its closure component becomes dirty."""
+        path = self._paths.pop(flow, None)
+        if path is None:
+            raise SimulationError(f"flow {flow!r} is not present")
+        del self._demands[flow]
+        del self._order[flow]
+        self._rates.pop(flow, None)
+        departed_splits = self._splits.pop(flow, [])
+        if self._verify:
+            self._account_usage(departed_splits, -1.0)
+        self._dirty_flows.discard(flow)
+        self._no_closure.discard(flow)
+        for link in self._closures.pop(flow):
+            members = self._members.get(link)
+            if members is not None:
+                members.discard(flow)
+                if not members:
+                    del self._members[link]
+            self._dirty_links.add(link)
+
+    def _account_usage(
+        self, splits: Sequence[Tuple[Path, float]], sign: float
+    ) -> None:
+        for path, rate in splits:
+            if rate <= 0:
+                continue
+            for link in cached_path_links(tuple(path)):
+                self._usage[link] = self._usage.get(link, 0.0) + sign * rate
+
+    def _dirty_component(self) -> Tuple[Set[FlowId], Set[LinkId]]:
+        """Flows transitively reachable from the dirty links via
+        closure membership, plus every closure link they can touch."""
+        members = self._members
+        closures = self._closures
+        component: Set[FlowId] = set()
+        add_flow = component.add
+        stack: List[LinkId] = [
+            link for link in self._dirty_links if link in members
+        ]
+        seen_links: Set[LinkId] = set(stack)
+        seen = seen_links.add
+        push = stack.append
+        while stack:
+            link = stack.pop()
+            for flow in members[link]:
+                if flow in component:
+                    continue
+                add_flow(flow)
+                for other in closures[flow]:
+                    if other not in seen_links:
+                        seen(other)
+                        push(other)
+        return component, seen_links
+
+    def dirty_component_size(self) -> int:
+        """Flows the next :meth:`recompute` would re-fill, without
+        filling — the adaptive core's probe while in full-refill mode
+        (a BFS is far cheaper than a wasted spanning re-fill)."""
+        component, _ = self._dirty_component()
+        return len(component) + len(self._dirty_flows)
+
+    def recompute(
+        self, full: bool = False
+    ) -> Tuple[
+        Dict[FlowId, float], Dict[FlowId, List[Tuple[Path, float]]], int
+    ]:
+        """Re-fill the dirty component; return ``(rates, splits, switches)``.
+
+        The two mappings cover exactly the flows whose allocation *may*
+        have changed since the previous call; flows outside them keep
+        their previous rates and splits.  ``switches`` counts the
+        detour switches performed by this re-fill.  With ``full=True``
+        the whole population is re-filled (the adaptive core's
+        fallback for spanning components).
+        """
+        if not full and not self._dirty_links and not self._dirty_flows:
+            return {}, {}, 0
+        changed_rates: Dict[FlowId, float] = {}
+        changed_splits: Dict[FlowId, List[Tuple[Path, float]]] = {}
+        for flow in self._dirty_flows:
+            changed_rates[flow] = self._demands[flow]
+            changed_splits[flow] = [(self._paths[flow], 0.0)]
+        if full:
+            # ``self._paths`` is insertion-ordered and flows are added
+            # exactly once, so it already enumerates the population in
+            # arrival order — no sort, and when every active flow has a
+            # closure (the common case; only src == dst flows do not)
+            # the registry dicts feed the fill without copies.
+            if len(self._no_closure) == len(self._paths):
+                component_map: Mapping[FlowId, Path] = {}
+            elif self._no_closure:
+                component_map = {
+                    flow: path
+                    for flow, path in self._paths.items()
+                    if flow not in self._no_closure
+                }
+            else:
+                component_map = self._paths
+            capacities: Mapping[LinkId, float] = self._capacities
+            pinned: Optional[Dict[LinkId, float]] = None
+        else:
+            component, reach = self._dirty_component()
+            # The re-fill can only ever touch the component's closure
+            # links; restricting the capacity map keeps its setup cost
+            # proportional to the component, not the topology.
+            capacities = {link: self._capacities[link] for link in reach}
+            # Pinned usage exists only as a verify-mode guard: the
+            # dirty-component BFS collects *every* flow with a closure
+            # link in ``reach``, so no outside flow can carry traffic
+            # there and the pinned map is zero by construction.
+            pinned = (
+                self._pinned_usage(component, reach) if self._verify else None
+            )
+            ordered = sorted(component, key=self._order.__getitem__)
+            component_map = {flow: self._paths[flow] for flow in ordered}
+        if component_map is self._paths:
+            demands: Mapping[FlowId, float] = self._demands
+        else:
+            demands = {flow: self._demands[flow] for flow in component_map}
+        switches = 0
+        if component_map:
+            result = inrp_allocation(
+                capacities,
+                component_map,
+                demands,
+                self._table,
+                max_replacements=self._max_replacements,
+                max_switches_per_flow=self._max_switches,
+                pinned_usage=pinned,
+                saturation_floors=self._floors,
+            )
+            switches = result.switches
+            for flow, splits in result.splits.items():
+                if self._verify:
+                    self._account_usage(self._splits.get(flow, []), -1.0)
+                    self._account_usage(splits, +1.0)
+                self._splits[flow] = splits
+            changed_rates.update(result.rates)
+            changed_splits.update(result.splits)
+        self._rates.update(changed_rates)
+        for flow in self._dirty_flows:
+            self._splits[flow] = changed_splits[flow]
+        self._dirty_links.clear()
+        self._dirty_flows.clear()
+        if self._verify:
+            self._check_against_scratch()
+        return changed_rates, changed_splits, switches
+
+    def _pinned_usage(
+        self, component: Set[FlowId], reach: Set[LinkId]
+    ) -> Optional[Dict[LinkId, float]]:
+        """Capacity already consumed on reachable links by flows held
+        fixed outside *component*.
+
+        Closure components are disjoint by construction, so this is
+        zero everywhere up to float drift in the running usage sums —
+        values below tolerance are dropped so the re-fill sees pristine
+        capacities.  A genuinely positive value would mean the closure
+        under-approximated reachability; pinning it keeps the subset
+        run from over-committing a link while the scratch cross-check
+        flags the divergence.  Because of that invariant the usage
+        bookkeeping feeding this guard runs only under ``verify=True``;
+        production recomputes skip it and pass ``pinned_usage=None``.
+        """
+        pinned: Dict[LinkId, float] = {}
+        for link in reach:
+            used = self._usage.get(link)
+            if used:
+                pinned[link] = used
+        if not pinned:
+            return None
+        # Subtract the component's own usage on those links.
+        for flow in component:
+            for path, rate in self._splits.get(flow, []):
+                if rate <= 0:
+                    continue
+                for link in cached_path_links(tuple(path)):
+                    if link in pinned:
+                        pinned[link] -= rate
+        return {
+            link: used
+            for link, used in pinned.items()
+            if used > _rel_tol(self._capacities.get(link, 0.0))
+        } or None
+
+    def _check_against_scratch(self) -> None:
+        scratch = inrp_allocation(
+            self._capacities,
+            self._paths,
+            self._demands,
+            self._table,
+            max_replacements=self._max_replacements,
+            max_switches_per_flow=self._max_switches,
+        )
+        worst = 0.0
+        diverged: Optional[FlowId] = None
+        for flow, rate in scratch.rates.items():
+            current = self._rates.get(flow)
+            if current is None:
+                raise SimulationError(f"flow {flow!r} missing from incremental state")
+            deviation = abs(current - rate) / (1.0 + abs(rate))
+            if deviation > worst:
+                worst = deviation
+                diverged = flow
+        self.max_verify_deviation = max(self.max_verify_deviation, worst)
+        if worst > self._verify_tol:
+            raise SimulationError(
+                f"incremental INRP rate for flow {diverged!r} diverged: "
+                f"{self._rates.get(diverged)} != {scratch.rates[diverged]} "
+                f"(relative deviation {worst:.3e})"
+            )

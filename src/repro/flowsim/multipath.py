@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import SimulationError
 from repro.routing.detour import DetourTable
@@ -114,6 +114,8 @@ def inrp_allocation(
     detour_table: DetourTable,
     max_replacements: int = 2,
     max_switches_per_flow: int = 16,
+    pinned_usage: Optional[Mapping[LinkId, float]] = None,
+    saturation_floors: Optional[Mapping[LinkId, float]] = None,
 ) -> MultipathAllocation:
     """INRP fluid allocation (see module docstring).
 
@@ -122,7 +124,9 @@ def inrp_allocation(
     capacities:
         Canonical link -> capacity (bits/s).
     flow_paths:
-        Primary (shortest) path per flow.
+        Primary (shortest) path per flow.  This may be any subset of
+        the active population: the incremental allocator re-runs the
+        filling over one detour-closure component at a time.
     detour_table:
         Pre-computed detour options; its ``max_intermediate`` controls
         detour depth (1 = the paper's one-hop detours).
@@ -130,25 +134,59 @@ def inrp_allocation(
         How many links of a single sub-path may be replaced by detours
         (2 models "nodes on the detour path can further detour, but
         for one extra hop only").
+    pinned_usage:
+        Bandwidth (bits/s) per link already consumed by flows *outside*
+        ``flow_paths`` whose allocation is held fixed.  Each link's
+        starting residual is its capacity minus its pinned usage.  Used
+        by :class:`repro.flowsim.allocation.IncrementalInrp` when
+        re-filling a single component while the others keep their
+        rates (for truly disjoint components every pinned value is
+        zero; the parameter makes the contract explicit and guards the
+        subset run against capacity over-commitment).
+    saturation_floors:
+        Pre-computed ``_rel_tol(capacity)`` per link.  Callers invoking
+        the filling repeatedly over the same topology (the incremental
+        allocator, the event cores) pass a shared map so it is not
+        rebuilt per call; any link missing from the map falls back to
+        the absolute epsilon.
     """
     flows: Dict[FlowId, _FlowState] = {}
     residual: Dict[LinkId, float] = dict(capacities)
-    # Sparse: only links currently carrying growing flows.  The
-    # saturation scan below runs every filling round, so iterating the
-    # handful of in-use links instead of the whole topology is a large
-    # win on big maps with localised load.
-    growth: Dict[LinkId, int] = {}
+    if pinned_usage:
+        for link, used in pinned_usage.items():
+            if link not in residual:
+                raise SimulationError(f"pinned usage on unknown link {link!r}")
+            if used < 0:
+                raise SimulationError(f"negative pinned usage on link {link!r}")
+            residual[link] = max(residual[link] - used, 0.0)
+    # Saturation floor per link, hoisted out of the filling rounds (the
+    # tolerance depends only on the link's capacity).
+    floors: Mapping[LinkId, float] = (
+        saturation_floors
+        if saturation_floors is not None
+        else {link: _rel_tol(capacity) for link, capacity in capacities.items()}
+    )
+    # Sparse: only links currently carrying growing flows, and which
+    # flows grow there.  The saturation scan below runs every filling
+    # round, so iterating the handful of in-use links instead of the
+    # whole topology is a large win on big maps with localised load;
+    # the member sets give the saturation-affected flows directly.
+    carriers: Dict[LinkId, Set[FlowId]] = {}
 
     def _links(path: Path) -> Tuple[LinkId, ...]:
         return cached_path_links(tuple(path))
 
-    def _add_growth(path: Path, delta: int) -> None:
+    def _enter(flow_id: FlowId, path: Path) -> None:
         for link in _links(path):
-            count = growth.get(link, 0) + delta
-            if count:
-                growth[link] = count
-            else:
-                growth.pop(link, None)
+            carriers.setdefault(link, set()).add(flow_id)
+
+    def _leave(flow_id: FlowId, path: Path) -> None:
+        for link in _links(path):
+            members = carriers.get(link)
+            if members is not None:
+                members.discard(flow_id)
+                if not members:
+                    del carriers[link]
 
     for flow_id, path in flow_paths.items():
         demand = demands[flow_id]
@@ -167,7 +205,7 @@ def inrp_allocation(
                     raise SimulationError(
                         f"flow {flow_id!r} uses unknown link {link!r}"
                     )
-            _add_growth(state.subpaths[0].path, +1)
+            _enter(flow_id, state.subpaths[0].path)
 
     def _best_option(link: Tuple, exclude_nodes: set) -> Optional[Path]:
         u, v = link
@@ -178,14 +216,20 @@ def inrp_allocation(
                 continue
             option_links = _links(option)
             spare = min(residual.get(l, 0.0) for l in option_links)
-            floor = max(_rel_tol(capacities.get(l, 0.0)) for l in option_links)
+            floor = max(floors.get(l, _EPS) for l in option_links)
             if spare <= floor:
                 continue
-            if spare > best_spare + _EPS:
+            # Relative tolerance: options whose spare capacity agrees
+            # to rounding noise are a tie, and the first enumerated
+            # (DetourTable order is deterministic) wins.  An absolute
+            # epsilon here would make the choice flip on bit-level
+            # residual differences between a whole-population fill and
+            # a component-restricted one.
+            if spare > best_spare + _rel_tol(best_spare):
                 best, best_spare = option, spare
         return best
 
-    def _reroute(state: _FlowState) -> bool:
+    def _reroute(flow_id: FlowId, state: _FlowState) -> bool:
         """Move the flow's growth off saturated links; False = freeze."""
         if state.active is None:
             return False
@@ -196,7 +240,7 @@ def inrp_allocation(
         while changed:
             changed = False
             for index, link in enumerate(_links(candidate)):
-                if residual.get(link, 0.0) > _rel_tol(capacities.get(link, 0.0)):
+                if residual.get(link, 0.0) > floors.get(link, _EPS):
                     continue
                 if replacements >= max_replacements:
                     return False
@@ -213,13 +257,18 @@ def inrp_allocation(
                 break
         if candidate == active.path:
             return True  # nothing saturated after all
-        _add_growth(active.path, -1)
+        _leave(flow_id, active.path)
         state.subpaths.append(_SubPath(candidate, replacements=replacements))
         state.active = len(state.subpaths) - 1
         state.switches += 1
-        _add_growth(candidate, +1)
+        _enter(flow_id, candidate)
         return True
 
+    # Saturation handling visits affected flows in arrival (insertion)
+    # order of ``flow_paths``: older flows reroute first.  Sorting by
+    # ``repr`` here made flow 10 reroute before flow 2 and silently
+    # changed outcomes with the flow-id type (int vs str ids).
+    arrival_order = {flow_id: index for index, flow_id in enumerate(flow_paths)}
     unfrozen = {flow_id for flow_id, state in flows.items() if not state.frozen}
     guard = 0
     max_iterations = 16 * (len(flows) + len(capacities)) + 64
@@ -231,21 +280,20 @@ def inrp_allocation(
             flows[flow_id].demand - flows[flow_id].total for flow_id in unfrozen
         )
         saturation_step = math.inf
+        saturation_tol = _EPS
         saturating: List[LinkId] = []
-        for link, count in growth.items():
-            if count <= 0:
-                continue
-            candidate_step = residual[link] / count
-            if candidate_step < saturation_step - _rel_tol(saturation_step):
+        for link, members in carriers.items():
+            candidate_step = residual[link] / len(members)
+            if candidate_step < saturation_step - saturation_tol:
                 saturation_step = candidate_step
+                saturation_tol = _EPS * (1.0 + candidate_step)
                 saturating = [link]
-            elif candidate_step <= saturation_step + _rel_tol(saturation_step):
+            elif candidate_step <= saturation_step + saturation_tol:
                 saturating.append(link)
         step = max(0.0, min(demand_step, saturation_step))
 
-        for link, count in growth.items():
-            if count > 0:
-                residual[link] -= step * count
+        for link, members in carriers.items():
+            residual[link] -= step * len(members)
         for flow_id in unfrozen:
             state = flows[flow_id]
             state.total += step
@@ -260,7 +308,7 @@ def inrp_allocation(
         ]
         for flow_id in satisfied:
             state = flows[flow_id]
-            _add_growth(state.subpaths[state.active].path, -1)
+            _leave(flow_id, state.subpaths[state.active].path)
             state.frozen = True
             state.freeze_reason = "demand"
             state.active = None
@@ -275,20 +323,20 @@ def inrp_allocation(
         if not saturated and not satisfied:
             raise SimulationError("INRP allocation made no progress")
         if saturated:
-            affected = [
-                flow_id
-                for flow_id in sorted(unfrozen, key=repr)
-                if any(
-                    link in saturated
-                    for link in _links(
-                        flows[flow_id].subpaths[flows[flow_id].active].path
-                    )
-                )
-            ]
+            affected = sorted(
+                {
+                    flow_id
+                    for link in saturated
+                    for flow_id in carriers.get(link, ())
+                },
+                key=arrival_order.__getitem__,
+            )
             for flow_id in affected:
                 state = flows[flow_id]
-                if state.switches >= max_switches_per_flow or not _reroute(state):
-                    _add_growth(state.subpaths[state.active].path, -1)
+                if state.switches >= max_switches_per_flow or not _reroute(
+                    flow_id, state
+                ):
+                    _leave(flow_id, state.subpaths[state.active].path)
                     state.frozen = True
                     state.freeze_reason = "no-detour"
                     state.active = None

@@ -60,6 +60,11 @@ class SimulationResult:
     allocations: int
     unfinished: int = 0
     total_switches: int = 0
+    #: Recomputes the adaptive ``core="auto"`` ran as full refills.
+    full_refills: int = 0
+    #: Worst incremental-vs-scratch rate deviation observed when
+    #: ``verify_allocator=True`` (None when verification did not run).
+    max_verify_deviation: Optional[float] = None
 
     @property
     def completed_records(self) -> List[FlowRecord]:
@@ -72,9 +77,21 @@ class SimulationResult:
             return None
         return sum(fcts) / len(fcts)
 
-    def stretch_samples(self) -> List[float]:
-        """Per-flow bit-weighted stretch values (completed flows)."""
-        return [record.stretch for record in self.records if record.delivered_bits > 0]
+    def stretch_samples(self, include_unfinished: bool = False) -> List[float]:
+        """Per-flow bit-weighted stretch values (completed flows).
+
+        A flow truncated by the horizon has a stretch computed over a
+        partial delivery, so unfinished flows are excluded from the
+        Fig. 4b distribution by default; pass
+        ``include_unfinished=True`` to also sample unfinished flows
+        that delivered at least one bit.
+        """
+        return [
+            record.stretch
+            for record in self.records
+            if record.completed
+            or (include_unfinished and record.delivered_bits > 0)
+        ]
 
 
 class _FullRecompute:
@@ -94,29 +111,111 @@ class _FullRecompute:
     def remove(self, flow_id: int) -> None:
         del self._flows[flow_id]
 
-    def recompute(self):
+    def recompute(self, full: bool = False):
         outcome = self._strategy.allocate(self._flows)
         return outcome.rates, outcome.splits, outcome.switches
 
 
 class _IncrementalRecompute:
-    """Allocation adapter over :class:`IncrementalMaxMin`: only the
+    """Allocation adapter over an incremental allocator
+    (:class:`IncrementalMaxMin` or :class:`IncrementalInrp`): only the
     dirty component is re-filled; untouched flows keep their rates (and
-    their departure-heap entries stay valid)."""
+    their departure-heap entries stay valid).  Multipath allocators
+    (``needs_paths``) additionally return per-path splits for the
+    changed flows, which the event loop carries into ``_set_rate``."""
 
     incremental = True
 
     def __init__(self, allocator):
         self._allocator = allocator
+        self._multipath = getattr(allocator, "needs_paths", False)
 
     def add(self, flow_id: int, path: tuple, demand: float) -> None:
-        self._allocator.add_flow(flow_id, cached_path_links(tuple(path)), demand)
+        if self._multipath:
+            self._allocator.add_flow(flow_id, tuple(path), demand)
+        else:
+            self._allocator.add_flow(
+                flow_id, cached_path_links(tuple(path)), demand
+            )
 
     def remove(self, flow_id: int) -> None:
         self._allocator.remove_flow(flow_id)
 
-    def recompute(self):
-        return self._allocator.recompute(), None, 0
+    def recompute(self, full: bool = False):
+        if self._multipath:
+            return self._allocator.recompute(full=full)
+        return self._allocator.recompute(full=full), None, 0
+
+    def component_size(self) -> int:
+        """Dirty-component size by BFS alone — no re-fill."""
+        return self._allocator.dirty_component_size()
+
+
+class _AdaptiveCorePolicy:
+    """Decides when ``core="auto"`` falls back to full refills.
+
+    Dirty-component search pays off only while components are small
+    relative to the active set.  In deep overload the population
+    snowballs into one spanning component: every recompute touches
+    everything and the component BFS plus subset copies are pure
+    overhead (measured ~0.8x of the reference loop).  The policy
+    watches the fraction of active flows each incremental recompute
+    returned; after ``patience`` consecutive recomputes above
+    ``threshold`` (with at least ``min_active`` flows active, so tiny
+    populations never flap) it switches to full refills, then probes
+    the dirty-component size by BFS alone (no fill, so probing costs a
+    component search, not a wasted spanning re-fill) every
+    ``probe_every``-th event to notice when components have shrunk
+    again.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.5,
+        patience: int = 3,
+        probe_every: int = 16,
+        min_active: int = 64,
+    ):
+        self.threshold = threshold
+        self.patience = patience
+        self.probe_every = probe_every
+        self.min_active = min_active
+        self.full_refills = 0
+        self._streak = 0
+        self._full_mode = False
+        self._since_probe = 0
+
+    def decide(self, measure, active: int) -> bool:
+        """Should the next recompute be a full refill?
+
+        ``measure`` is a zero-argument callable returning the current
+        dirty-component size (BFS only); it is consulted on full-mode
+        probe events, so its cost is amortised over ``probe_every``
+        refills.
+        """
+        if not self._full_mode:
+            return False
+        self._since_probe += 1
+        if self._since_probe >= self.probe_every:
+            self._since_probe = 0
+            if active < self.min_active or measure() <= self.threshold * active:
+                self._full_mode = False
+                self._streak = 0
+                return False
+        return True
+
+    def observe(self, changed: int, active: int, was_full: bool) -> None:
+        """Feed back what the recompute actually touched."""
+        if was_full:
+            self.full_refills += 1
+            return
+        if active >= self.min_active and changed > self.threshold * active:
+            self._streak += 1
+            if self._streak >= self.patience:
+                self._full_mode = True
+                self._since_probe = 0
+        else:
+            self._streak = 0
 
 
 class FlowLevelSimulator:
@@ -131,8 +230,12 @@ class FlowLevelSimulator:
     core:
         ``"incremental"`` (departure heap + dirty-component
         allocation), ``"reference"`` (the original full-rescan loop)
-        or ``"auto"`` (incremental).  Both cores produce the same
-        :class:`SimulationResult` up to float tolerance.
+        or ``"auto"`` (the default: the incremental machinery plus an
+        adaptive fallback to full refills while the dirty component
+        keeps spanning the active set — the deep-overload regime where
+        pure dirty-component search is slower than refilling).  All
+        cores produce the same :class:`SimulationResult` up to float
+        tolerance.
     verify_allocator:
         When the strategy supports incremental allocation, re-check
         every incremental recompute against from-scratch
@@ -159,13 +262,13 @@ class FlowLevelSimulator:
         self.strategy = strategy
         self.specs = sorted(specs, key=lambda spec: (spec.arrival_time, spec.flow_id))
         self.horizon = horizon
-        self.core = "incremental" if core == "auto" else core
+        self.core = core
         self.verify_allocator = verify_allocator
 
     def run(self) -> SimulationResult:
         if self.core == "reference":
             return self._run_reference()
-        return self._run_incremental()
+        return self._run_incremental(adaptive=self.core == "auto")
 
     def _make_adapter(self):
         allocator = self.strategy.incremental_allocator(
@@ -175,7 +278,7 @@ class FlowLevelSimulator:
             return _IncrementalRecompute(allocator)
         return _FullRecompute(self.strategy)
 
-    def _run_incremental(self) -> SimulationResult:
+    def _run_incremental(self, adaptive: bool = False) -> SimulationResult:
         active: Dict[int, ActiveFlow] = {}
         last_sync: Dict[int, float] = {}
         version: Dict[int, int] = {}
@@ -186,6 +289,9 @@ class FlowLevelSimulator:
         pending = list(self.specs)
         pending.reverse()  # pop() yields earliest arrival
         adapter = self._make_adapter()
+        policy = (
+            _AdaptiveCorePolicy() if adaptive and adapter.incremental else None
+        )
         now = 0.0
         seq = 0
         allocations = 0
@@ -298,19 +404,37 @@ class FlowLevelSimulator:
                 arrived = True
 
             if (finished or arrived) and active:
-                rates, splits_map, switches = adapter.recompute()
+                use_full = (
+                    policy.decide(adapter.component_size, len(active))
+                    if policy
+                    else False
+                )
+                rates, splits_map, switches = adapter.recompute(full=use_full)
+                if policy:
+                    policy.observe(len(rates), len(active), use_full)
                 allocations += 1
                 total_switches += switches
                 if adapter.incremental:
-                    # Only the dirty component came back; single-path
-                    # strategies always carry everything on the primary.
+                    # Only the dirty component came back.  Multipath
+                    # allocators return the new per-path splits for it;
+                    # single-path strategies always carry everything on
+                    # the primary.
                     for fid, rate in rates.items():
                         flow = active[fid]
-                        if rate != flow.rate_bps:
-                            splits = (
-                                [(flow.primary_path, rate)] if rate > 0 else []
-                            )
-                            _set_rate(fid, flow, rate, splits)
+                        if splits_map is None:
+                            if rate != flow.rate_bps:
+                                splits = (
+                                    [(flow.primary_path, rate)] if rate > 0 else []
+                                )
+                                _set_rate(fid, flow, rate, splits)
+                        else:
+                            splits = [
+                                (path, split_rate)
+                                for path, split_rate in splits_map.get(fid, [])
+                                if split_rate > 0
+                            ]
+                            if rate != flow.rate_bps or splits != flow.splits:
+                                _set_rate(fid, flow, rate, splits)
                 else:
                     for fid, flow in active.items():
                         rate = rates.get(fid, 0.0)
@@ -330,6 +454,11 @@ class FlowLevelSimulator:
             _sync(fid, flow)
             records.append(self._finalize(flow, completion_time=None))
         records.sort(key=lambda record: record.flow_id)
+        max_deviation = None
+        if self.verify_allocator and adapter.incremental:
+            max_deviation = getattr(
+                adapter._allocator, "max_verify_deviation", None
+            )
         return self._result(
             records,
             delivered_meter,
@@ -338,6 +467,8 @@ class FlowLevelSimulator:
             allocations,
             unfinished,
             total_switches,
+            full_refills=policy.full_refills if policy else 0,
+            max_verify_deviation=max_deviation,
         )
 
     def _run_reference(self) -> SimulationResult:
@@ -443,6 +574,8 @@ class FlowLevelSimulator:
         allocations: int,
         unfinished: int,
         total_switches: int,
+        full_refills: int = 0,
+        max_verify_deviation: Optional[float] = None,
     ) -> SimulationResult:
         offered_mean = offered_meter.mean
         throughput = (
@@ -457,6 +590,8 @@ class FlowLevelSimulator:
             allocations=allocations,
             unfinished=unfinished,
             total_switches=total_switches,
+            full_refills=full_refills,
+            max_verify_deviation=max_verify_deviation,
         )
 
     @staticmethod

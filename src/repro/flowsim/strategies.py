@@ -20,7 +20,11 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
-from repro.flowsim.allocation import IncrementalMaxMin, max_min_allocation
+from repro.flowsim.allocation import (
+    IncrementalInrp,
+    IncrementalMaxMin,
+    max_min_allocation,
+)
 from repro.flowsim.multipath import inrp_allocation
 from repro.routing.detour import DetourTable
 from repro.routing.ecmp import all_shortest_paths, ecmp_hash
@@ -66,18 +70,17 @@ class RoutingStrategy(abc.ABC):
     ) -> AllocationOutcome:
         """Allocate bandwidth to flows given ``{id: (path, demand)}``."""
 
-    def incremental_allocator(
-        self, verify: bool = False
-    ) -> Optional[IncrementalMaxMin]:
+    def incremental_allocator(self, verify: bool = False):
         """Fresh incremental allocator, when the sharing model admits one.
 
         Strategies whose allocation is plain e2e max-min over a single
         path per flow (SP, ECMP) return an
-        :class:`~repro.flowsim.allocation.IncrementalMaxMin`; the
-        simulator then recomputes only the component dirtied by each
-        arrival/departure.  Strategies with global coupling (INRP's
-        detours can traverse any link) return ``None`` and are
-        recomputed in full.
+        :class:`~repro.flowsim.allocation.IncrementalMaxMin`; INRP
+        returns an :class:`~repro.flowsim.allocation.IncrementalInrp`
+        over its detour-closure components.  The simulator then
+        recomputes only the component dirtied by each
+        arrival/departure.  Strategies whose coupling really is global
+        return ``None`` and are recomputed in full.
         """
         return None
 
@@ -180,6 +183,14 @@ class InrpStrategy(RoutingStrategy):
             splits=result.splits,
             switches=result.switches,
             backpressured=backpressured,
+        )
+
+    def incremental_allocator(self, verify: bool = False) -> IncrementalInrp:
+        return IncrementalInrp(
+            self.capacities,
+            self.detour_table,
+            max_replacements=self.max_replacements,
+            verify=verify,
         )
 
 

@@ -30,6 +30,7 @@ def dijkstra(
     topo: Topology,
     source: Node,
     weight: Optional[WeightFn] = None,
+    target: Optional[Node] = None,
 ) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
     """Single-source shortest distances and predecessors.
 
@@ -38,6 +39,15 @@ def dijkstra(
     weight:
         Callable ``(u, v) -> cost``; defaults to hop count, the metric
         used throughout the paper's evaluation.
+    target:
+        Stop as soon as this node is settled.  The returned maps then
+        cover only the explored region, but the path to *target* (and
+        its tie-break) is exactly the one a full run would produce: a
+        settled node's predecessor chain can no longer change, and
+        every tie-break update for *target* comes from a node with a
+        strictly smaller distance, settled earlier.  This is what
+        makes per-flow routing on locality-bounded workloads cheap —
+        the search explores the neighbourhood, not the whole map.
 
     Returns
     -------
@@ -58,6 +68,8 @@ def dijkstra(
         if node in visited:
             continue
         visited.add(node)
+        if target is not None and node == target:
+            break
         for neighbour in topo.neighbors(node):
             if neighbour in visited:
                 continue
@@ -92,7 +104,7 @@ def shortest_path(
     """
     if not topo.has_node(destination):
         raise RoutingError(f"unknown node: {destination!r}")
-    distances, predecessors = dijkstra(topo, source, weight)
+    distances, predecessors = dijkstra(topo, source, weight, target=destination)
     if destination not in distances:
         raise NoPathError(source, destination)
     path = [destination]
@@ -109,7 +121,8 @@ def shortest_path_length(
     weight: Optional[WeightFn] = None,
 ) -> float:
     """Cost of the shortest path (hops by default)."""
-    distances, _ = dijkstra(topo, source, weight)
+    target = destination if topo.has_node(destination) else None
+    distances, _ = dijkstra(topo, source, weight, target=target)
     if destination not in distances:
         raise NoPathError(source, destination)
     return distances[destination]

@@ -1,0 +1,161 @@
+"""Incremental INRP allocator: detour-closure components vs scratch."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.flowsim import IncrementalInrp, detour_closure, inrp_allocation
+from repro.routing import DetourTable, shortest_path
+from repro.routing.paths import cached_path_links
+from repro.topology import Topology, fig3_topology, mesh_topology
+from repro.units import mbps
+from repro.workloads import uniform_pairs
+
+
+def _assert_matches_scratch(allocator, capacities, table, paths, demands):
+    scratch = inrp_allocation(capacities, paths, demands, table)
+    rates = allocator.rates
+    assert set(rates) == set(scratch.rates)
+    for flow, rate in scratch.rates.items():
+        assert rates[flow] == pytest.approx(rate, abs=1e-9, rel=1e-9)
+
+
+def test_fig3_rates_and_splits_match_scratch():
+    topo = fig3_topology()
+    table = DetourTable(topo, max_intermediate=1)
+    allocator = IncrementalInrp(topo.link_capacities(), table)
+    allocator.add_flow(1, shortest_path(topo, 1, 4), mbps(10))
+    allocator.add_flow(2, shortest_path(topo, 1, 5), mbps(10))
+    rates, splits, switches = allocator.recompute()
+    # The paper's Fig. 3 right: both flows get 5 Mbps, flow 1 carries
+    # 2 Mbps direct + 3 Mbps via the node-3 detour.
+    assert rates[1] == pytest.approx(mbps(5))
+    assert rates[2] == pytest.approx(mbps(5))
+    split = {tuple(path): rate for path, rate in splits[1]}
+    assert split[(1, 2, 4)] == pytest.approx(mbps(2))
+    assert split[(1, 2, 3, 4)] == pytest.approx(mbps(3))
+    assert switches == 1
+
+
+def _two_island_topology():
+    """Two disconnected bottleneck links: a1-a2 and b1-b2."""
+    topo = Topology()
+    topo.add_link("a1", "a2", capacity=mbps(10))
+    topo.add_link("b1", "b2", capacity=mbps(10))
+    return topo
+
+
+def test_untouched_closure_component_not_recomputed():
+    topo = _two_island_topology()
+    table = DetourTable(topo, max_intermediate=1)
+    allocator = IncrementalInrp(topo.link_capacities(), table)
+    allocator.add_flow("left", ("a1", "a2"), mbps(10))
+    allocator.add_flow("right", ("b1", "b2"), mbps(10))
+    allocator.recompute()
+    allocator.add_flow("right2", ("b1", "b2"), mbps(10))
+    rates, splits, _ = allocator.recompute()
+    assert "left" not in rates and "left" not in splits
+    assert rates["right"] == pytest.approx(mbps(5))
+    assert rates["right2"] == pytest.approx(mbps(5))
+    assert allocator.rates["left"] == pytest.approx(mbps(10))
+
+
+def test_full_refill_returns_whole_population():
+    topo = _two_island_topology()
+    table = DetourTable(topo, max_intermediate=1)
+    allocator = IncrementalInrp(topo.link_capacities(), table)
+    allocator.add_flow("left", ("a1", "a2"), mbps(10))
+    allocator.add_flow("right", ("b1", "b2"), mbps(10))
+    allocator.recompute()
+    allocator.add_flow("right2", ("b1", "b2"), mbps(10))
+    rates, splits, _ = allocator.recompute(full=True)
+    assert set(rates) == {"left", "right", "right2"}
+    assert rates["left"] == pytest.approx(mbps(10))
+    assert rates["right"] == pytest.approx(mbps(5))
+
+
+def test_recompute_without_churn_is_empty():
+    topo = fig3_topology()
+    table = DetourTable(topo, max_intermediate=1)
+    allocator = IncrementalInrp(topo.link_capacities(), table)
+    allocator.add_flow(1, shortest_path(topo, 1, 4), mbps(10))
+    allocator.recompute()
+    assert allocator.recompute() == ({}, {}, 0)
+
+
+def test_linkless_flow_gets_full_demand():
+    topo = fig3_topology()
+    table = DetourTable(topo, max_intermediate=1)
+    allocator = IncrementalInrp(topo.link_capacities(), table)
+    allocator.add_flow(1, (2,), mbps(7))
+    rates, splits, switches = allocator.recompute()
+    assert rates[1] == mbps(7)
+    assert switches == 0
+
+
+def test_validation_errors():
+    topo = fig3_topology()
+    table = DetourTable(topo, max_intermediate=1)
+    allocator = IncrementalInrp(topo.link_capacities(), table)
+    with pytest.raises(SimulationError):
+        allocator.add_flow(1, (1, 99), 1.0)
+    with pytest.raises(SimulationError):
+        allocator.add_flow(1, (1, 2), -1.0)
+    allocator.add_flow(1, (1, 2), 1.0)
+    with pytest.raises(SimulationError):
+        allocator.add_flow(1, (1, 2), 1.0)
+    with pytest.raises(SimulationError):
+        allocator.remove_flow(2)
+    assert 1 in allocator and len(allocator) == 1
+
+
+def test_detour_closure_rounds():
+    topo = fig3_topology()
+    table = DetourTable(topo, max_intermediate=1)
+    path = shortest_path(topo, 1, 4)
+    primary = set(cached_path_links(tuple(path)))
+    closure0 = detour_closure(path, table, 0)
+    assert closure0 == frozenset(primary)
+    closure1 = detour_closure(path, table, 1)
+    closure2 = detour_closure(path, table, 2)
+    # Fig. 3: the node-3 detour around (2, 4) joins at round 1.
+    assert primary < closure1 <= closure2
+    assert (2, 3) in closure1 and (3, 4) in closure1
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    churn=st.lists(
+        st.integers(min_value=0, max_value=4), min_size=4, max_size=30
+    ),
+    demand=st.floats(min_value=0.5, max_value=30.0),
+)
+def test_incremental_inrp_matches_scratch_under_churn(seed, churn, demand):
+    """Property: after any arrival/departure sequence, the incremental
+    rates equal from-scratch ``inrp_allocation`` on the survivors.
+    ``verify=True`` additionally cross-checks inside every recompute."""
+    topo = mesh_topology(12, extra_links=10, seed=seed, capacity=10.0)
+    capacities = topo.link_capacities()
+    table = DetourTable(topo, max_intermediate=1)
+    sampler = uniform_pairs(topo, seed=seed + 1)
+    allocator = IncrementalInrp(capacities, table, verify=True)
+    paths = {}
+    demands = {}
+    next_id = 0
+    for action in churn:
+        if action == 0 and paths:
+            victim = next(iter(paths))
+            allocator.remove_flow(victim)
+            del paths[victim]
+            del demands[victim]
+        else:
+            src, dst = sampler()
+            path = tuple(shortest_path(topo, src, dst))
+            allocator.add_flow(next_id, path, demand)
+            paths[next_id] = path
+            demands[next_id] = demand
+            next_id += 1
+        allocator.recompute()  # raises SimulationError on divergence
+        _assert_matches_scratch(allocator, capacities, table, paths, demands)
+    assert allocator.max_verify_deviation <= 1e-9

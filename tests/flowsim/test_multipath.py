@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 from repro.flowsim import inrp_allocation
 from repro.routing import DetourTable, shortest_path
 from repro.routing.paths import path_links
-from repro.topology import fig3_topology, mesh_topology
+from repro.topology import Topology, fig3_topology, mesh_topology
 from repro.units import mbps
 from repro.workloads import uniform_pairs
 
@@ -124,3 +124,51 @@ def test_no_link_overloaded_and_splits_consistent(seed, num_flows):
     # Local stability / global fairness: pooling never hurts the
     # most-starved flow.
     assert min(result.rates.values()) >= min(e2e.values()) - 1e-6
+
+
+def _saturating_instance(flow_ids):
+    """Many same-path flows over a bottleneck with a narrow detour, so
+    the fill saturates and visits the affected flows for rerouting."""
+    topo = Topology()
+    topo.add_link("s", "m", capacity=mbps(200))
+    topo.add_link("m", "d", capacity=mbps(10))
+    topo.add_link("m", "x", capacity=mbps(5))
+    topo.add_link("x", "d", capacity=mbps(5))
+    table = DetourTable(topo, max_intermediate=1)
+    flow_paths = {fid: ("s", "m", "d") for fid in flow_ids}
+    demands = {fid: mbps(10) for fid in flow_ids}
+    return inrp_allocation(topo.link_capacities(), flow_paths, demands, table)
+
+
+def test_saturation_visits_flows_in_arrival_order_not_id_order():
+    """Regression: saturation-affected flows used to be visited in
+    ``sorted(..., key=repr)`` order, so flow 10 rerouted before flow 2
+    and outcomes silently depended on the flow-id type.  The contract
+    is arrival (insertion) order of ``flow_paths``: identical ids in a
+    different textual form — int vs str, crossing the 9 -> 10 boundary
+    where lexicographic and numeric order disagree — must produce
+    identical allocations position by position."""
+    int_ids = list(range(4, 16))  # 4..15 crosses the 9 -> 10 boundary
+    str_ids = [str(fid) for fid in int_ids]
+    int_result = _saturating_instance(int_ids)
+    str_result = _saturating_instance(str_ids)
+    assert int_result.switches == str_result.switches
+    assert int_result.switches > 0  # the ordering code path actually ran
+    for int_id, str_id in zip(int_ids, str_ids):
+        assert int_result.rates[int_id] == pytest.approx(
+            str_result.rates[str_id], abs=1e-12
+        )
+        assert int_result.freeze_reasons[int_id] == str_result.freeze_reasons[str_id]
+        int_splits = [(tuple(p), r) for p, r in int_result.splits[int_id]]
+        str_splits = [(tuple(p), r) for p, r in str_result.splits[str_id]]
+        assert int_splits == str_splits
+
+
+def test_saturation_order_follows_insertion_not_numeric_value():
+    """The same ids presented in a different arrival order give each
+    *position* the same treatment: outcomes follow insertion order, not
+    any ordering of the id values themselves."""
+    forward = _saturating_instance([2, 10])
+    backward = _saturating_instance([10, 2])
+    assert forward.rates[2] == pytest.approx(backward.rates[10], abs=1e-12)
+    assert forward.rates[10] == pytest.approx(backward.rates[2], abs=1e-12)

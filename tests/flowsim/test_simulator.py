@@ -217,3 +217,112 @@ def test_cores_equivalent_with_horizon():
             topo, strategy, specs, horizon=0.6, core=core
         ).run()
     _assert_equivalent(runs["reference"], runs["incremental"])
+
+
+def test_stretch_samples_exclude_unfinished_by_default():
+    """Regression: a flow truncated by the horizon (partial delivery)
+    used to leak into the Fig. 4b stretch distribution; completed-only
+    is the default, ``include_unfinished=True`` the escape hatch."""
+    topo = line_topology(2)
+    strategy = make_strategy("sp", topo)
+    # Flow 1 (5 Mbit at >= 5 Mbps effective) completes within the 1.5 s
+    # horizon; flow 2 (100 Mbit) is truncated with bits delivered.
+    specs = [_spec(1, 0, 1, 0.0, 5e6), _spec(2, 0, 1, 0.0, 100e6)]
+    result = FlowLevelSimulator(topo, strategy, specs, horizon=1.5).run()
+    assert result.unfinished == 1
+    truncated = [r for r in result.records if not r.completed]
+    assert truncated and truncated[0].delivered_bits > 0
+    assert len(result.stretch_samples()) == 1
+    assert len(result.stretch_samples(include_unfinished=True)) == 2
+
+
+def _spanning_component_specs(num_flows):
+    # Every flow crosses the same single link: one component that spans
+    # the whole active set, the adaptive core's worst case.
+    return [
+        _spec(fid, 0, 1, 0.001 * fid, 4e6) for fid in range(num_flows)
+    ]
+
+
+def test_adaptive_core_falls_back_on_spanning_component():
+    """core="auto" must notice that every dirty component spans the
+    active set (population above the policy's min_active) and switch
+    to full refills; the plain incremental core never does."""
+    topo = line_topology(2)
+    specs = _spanning_component_specs(120)
+    auto = FlowLevelSimulator(
+        topo, make_strategy("sp", topo), specs, core="auto"
+    ).run()
+    assert auto.full_refills > 0
+    incremental = FlowLevelSimulator(
+        topo, make_strategy("sp", topo), specs, core="incremental"
+    ).run()
+    assert incremental.full_refills == 0
+    reference = FlowLevelSimulator(
+        topo, make_strategy("sp", topo), specs, core="reference"
+    ).run()
+    _assert_equivalent(reference, auto)
+    _assert_equivalent(reference, incremental)
+
+
+def _overload_specs(topo, seed, num_flows):
+    """Deep overload: uniform endpoints, arrivals far above the drain
+    rate, so the population snowballs into one spanning component."""
+    from repro.workloads import uniform_pairs
+
+    workload = FlowWorkload(
+        topo,
+        arrival_rate=600.0,
+        mean_size_bits=4e6,
+        demand_bps=mbps(10),
+        seed=seed,
+        pair_sampler=uniform_pairs(topo, seed=seed + 1),
+    )
+    return workload.generate(max_flows=num_flows)
+
+
+@pytest.mark.parametrize("seed", [0, 5])
+def test_inrp_cores_equivalent_at_overload(seed):
+    """All three cores produce the same records for INRP in the
+    deep-overload regime (spanning components, adaptive fallback
+    engaged).  ``total_switches`` is excluded: the incremental core
+    re-fills only dirty components, so it does not re-count the
+    switches of untouched components the way a full re-fill does."""
+    topo = mesh_topology(14, extra_links=12, seed=seed, capacity=mbps(10))
+    specs = _overload_specs(topo, seed=seed, num_flows=70)
+    runs = {}
+    for core in ("reference", "incremental", "auto"):
+        strategy = make_strategy("inrp", topo)
+        runs[core] = FlowLevelSimulator(topo, strategy, specs, core=core).run()
+    for core in ("incremental", "auto"):
+        ref, other = runs["reference"], runs[core]
+        assert len(ref.records) == len(other.records)
+        for a, b in zip(ref.records, other.records):
+            assert a.flow_id == b.flow_id
+            assert a.completed == b.completed
+            if a.completed:
+                assert b.fct == pytest.approx(a.fct, rel=1e-6, abs=1e-9)
+            assert b.delivered_bits == pytest.approx(
+                a.delivered_bits, rel=1e-6, abs=1e-3
+            )
+        assert other.unfinished == ref.unfinished
+        assert other.network_throughput == pytest.approx(
+            ref.network_throughput, rel=1e-6
+        )
+
+
+def test_inrp_incremental_verified_inside_simulator():
+    """verify_allocator cross-checks every incremental INRP recompute
+    against from-scratch inrp_allocation and reports the worst
+    deviation on the result."""
+    topo = mesh_topology(14, extra_links=12, seed=2, capacity=mbps(10))
+    specs = _workload_specs(topo, seed=2, num_flows=50)
+    result = FlowLevelSimulator(
+        topo,
+        make_strategy("inrp", topo),
+        specs,
+        core="incremental",
+        verify_allocator=True,
+    ).run()
+    assert result.max_verify_deviation is not None
+    assert result.max_verify_deviation <= 1e-9
