@@ -70,7 +70,7 @@ POINTS = {
         flows_full=10_000,
         flows_smoke=2_000,
         verify_flows=2_000,
-        cores=("reference", "incremental"),
+        cores=("reference", "incremental", "vectorized"),
     ),
     "inrp-calibrated": dict(
         isp="sprint",
@@ -84,7 +84,7 @@ POINTS = {
         flows_full=10_000,
         flows_smoke=2_000,
         verify_flows=600,
-        cores=("reference", "incremental"),
+        cores=("reference", "incremental", "vectorized"),
     ),
     "inrp-overload": dict(
         isp="exodus",
@@ -98,7 +98,7 @@ POINTS = {
         flows_full=1_500,
         flows_smoke=500,
         verify_flows=200,
-        cores=("reference", "incremental", "auto"),
+        cores=("reference", "incremental", "vectorized", "auto"),
     ),
 }
 
@@ -121,10 +121,15 @@ def build_specs(point, num_flows):
     return topo, workload.generate(max_flows=num_flows)
 
 
-def run_core(topo, strategy_name, specs, core, verify=False):
+def run_core(topo, strategy_name, specs, core, verify=False, adaptive=None):
     strategy = make_strategy(strategy_name, topo)
     sim = FlowLevelSimulator(
-        topo, strategy, specs, core=core, verify_allocator=verify
+        topo,
+        strategy,
+        specs,
+        core=core,
+        verify_allocator=verify,
+        **(adaptive or {}),
     )
     start = time.perf_counter()
     result = sim.run()
@@ -151,7 +156,7 @@ def check_equivalence(reference, other):
     return worst
 
 
-def run_point(name, point, num_flows, verify_flows):
+def run_point(name, point, num_flows, verify_flows, adaptive=None):
     topo, specs = build_specs(point, num_flows)
     print(
         f"[{name}] {point['isp']} ({topo.num_nodes} nodes), {num_flows} flows, "
@@ -161,7 +166,7 @@ def run_point(name, point, num_flows, verify_flows):
     results, seconds, full_refills = {}, {}, {}
     for core in point["cores"]:
         results[core], seconds[core] = run_core(
-            topo, point["strategy"], specs, core
+            topo, point["strategy"], specs, core, adaptive=adaptive
         )
         full_refills[core] = results[core].full_refills
         print(f"  {core:12s} core: {seconds[core]:8.2f}s", flush=True)
@@ -180,22 +185,34 @@ def run_point(name, point, num_flows, verify_flows):
         f"  speedup {speedup:.2f}x, worst record deviation {worst:.2e}",
         flush=True,
     )
+    vectorized_speedup = None
+    if "vectorized" in seconds:
+        vectorized_speedup = (
+            seconds["incremental"] / seconds["vectorized"]
+            if seconds["vectorized"] > 0
+            else math.inf
+        )
+        print(
+            f"  vectorized vs incremental: {vectorized_speedup:.2f}x",
+            flush=True,
+        )
     auto_vs_best = None
     if "auto" in seconds:
         best = min(seconds["reference"], seconds["incremental"])
         auto_vs_best = seconds["auto"] / best if best > 0 else math.inf
         print(f"  auto vs best-of-others: {auto_vs_best:.2f}x", flush=True)
 
-    # Every incremental recompute re-checked against the from-scratch
-    # allocator (quadratic, so on a bounded slice of the sweep).
+    # Every recompute of the newest allocator core re-checked against
+    # the from-scratch solver (quadratic, so on a bounded slice).
+    verify_core = "vectorized" if "vectorized" in point["cores"] else "incremental"
     verify_specs = specs[: min(len(specs), verify_flows)]
     verified, _ = run_core(
-        topo, point["strategy"], verify_specs, "incremental", verify=True
+        topo, point["strategy"], verify_specs, verify_core, verify=True
     )
     max_deviation = verified.max_verify_deviation or 0.0
     print(
-        f"  allocator verified from scratch on {len(verify_specs)} flows "
-        f"(max deviation {max_deviation:.2e})",
+        f"  {verify_core} allocator verified from scratch on "
+        f"{len(verify_specs)} flows (max deviation {max_deviation:.2e})",
         flush=True,
     )
 
@@ -217,11 +234,15 @@ def run_point(name, point, num_flows, verify_flows):
         "num_flows": num_flows,
         "seconds": {core: round(value, 4) for core, value in seconds.items()},
         "speedup": round(speedup, 3),
+        "vectorized_speedup": (
+            None if vectorized_speedup is None else round(vectorized_speedup, 3)
+        ),
         "auto_vs_best": None if auto_vs_best is None else round(auto_vs_best, 3),
         "worst_record_deviation": worst,
         "equivalent": worst <= TOLERANCE,
         "full_refills": full_refills,
         "verify": {
+            "core": verify_core,
             "flows": len(verify_specs),
             "max_deviation": max_deviation,
             "ok": max_deviation <= VERIFY_TOLERANCE,
@@ -281,6 +302,13 @@ def check_against(record, committed_path):
                 f"{name}: speedup regressed {baseline['speedup']}x -> "
                 f"{fresh['speedup']}x (floor is 40% of committed)"
             )
+        if baseline.get("vectorized_speedup") and fresh.get("vectorized_speedup"):
+            if fresh["vectorized_speedup"] < 0.4 * baseline["vectorized_speedup"]:
+                failures.append(
+                    f"{name}: vectorized speedup regressed "
+                    f"{baseline['vectorized_speedup']}x -> "
+                    f"{fresh['vectorized_speedup']}x (floor is 40% of committed)"
+                )
         if baseline.get("auto_vs_best") and fresh.get("auto_vs_best"):
             ceiling = max(1.6, 1.8 * baseline["auto_vs_best"])
             if fresh["auto_vs_best"] > ceiling:
@@ -306,6 +334,20 @@ def main(argv=None):
         help="CI-sized run (per-point smoke sizes) with allocator verification",
     )
     parser.add_argument("--min-inrp-speedup", type=float, default=None)
+    parser.add_argument(
+        "--min-vectorized-speedup",
+        type=float,
+        default=None,
+        help="fail if the vectorized core is below this multiple of the "
+        "incremental core at any calibrated (non-overload) point",
+    )
+    # Adaptive ``core="auto"`` policy knobs, passed through to the
+    # simulator at every point so the sweep harness can explore them
+    # (defaults: the simulator's own).
+    parser.add_argument("--adaptive-threshold", type=float, default=None)
+    parser.add_argument("--adaptive-patience", type=int, default=None)
+    parser.add_argument("--adaptive-probe-every", type=int, default=None)
+    parser.add_argument("--adaptive-min-active", type=int, default=None)
     parser.add_argument(
         "--max-auto-ratio",
         type=float,
@@ -333,18 +375,32 @@ def main(argv=None):
         print(f"unknown point(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
 
+    adaptive = {
+        key: value
+        for key, value in (
+            ("adaptive_threshold", args.adaptive_threshold),
+            ("adaptive_patience", args.adaptive_patience),
+            ("adaptive_probe_every", args.adaptive_probe_every),
+            ("adaptive_min_active", args.adaptive_min_active),
+        )
+        if value is not None
+    }
     record = {
         "bench": "flowsim-core",
         "mode": "smoke" if args.smoke else "full",
         "points": {},
     }
+    if adaptive:
+        record["adaptive"] = adaptive
     for name in names:
         point = POINTS[name]
         num_flows = args.flows or (
             point["flows_smoke"] if args.smoke else point["flows_full"]
         )
         verify_flows = min(point["verify_flows"], num_flows)
-        record["points"][name] = run_point(name, point, num_flows, verify_flows)
+        record["points"][name] = run_point(
+            name, point, num_flows, verify_flows, adaptive=adaptive
+        )
 
     if args.out:
         Path(args.out).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
@@ -384,6 +440,20 @@ def main(argv=None):
                 file=sys.stderr,
             )
             status = 1
+    if args.min_vectorized_speedup is not None:
+        for name in ("sp-calibrated", "inrp-calibrated"):
+            point_record = record["points"].get(name)
+            if point_record and (
+                (point_record.get("vectorized_speedup") or math.inf)
+                < args.min_vectorized_speedup
+            ):
+                print(
+                    f"FAIL: {name}: vectorized speedup "
+                    f"{point_record['vectorized_speedup']}x below "
+                    f"{args.min_vectorized_speedup}x",
+                    file=sys.stderr,
+                )
+                status = 1
     if args.max_auto_ratio is not None:
         overload = record["points"].get("inrp-overload")
         if overload and overload["auto_vs_best"] > args.max_auto_ratio:

@@ -11,6 +11,9 @@ provides:
   filling where a flow blocked at a saturated link *detours* its
   further growth through alternative sub-paths (1-hop detours, with
   one extra hop allowed on the detour path, as in the paper);
+- :mod:`~repro.flowsim.kernel` — the vectorized CSR filling kernel
+  shared by both incremental allocators (``kernel="vectorized"`` /
+  the simulator's ``core="vectorized"``);
 - :mod:`~repro.flowsim.strategies` — SP / ECMP / INRP strategy objects;
 - :mod:`~repro.flowsim.simulator` — an event-driven simulator with
   per-event rate recomputation (arrivals, departures, completion);
@@ -25,6 +28,12 @@ from repro.flowsim.allocation import (
     max_min_allocation,
 )
 from repro.flowsim.multipath import MultipathAllocation, inrp_allocation
+from repro.flowsim.kernel import (
+    IncidenceStore,
+    LinkSpace,
+    inrp_fill,
+    maxmin_fill,
+)
 from repro.flowsim.flow import ActiveFlow, FlowRecord
 from repro.flowsim.strategies import (
     EcmpStrategy,
@@ -43,6 +52,10 @@ __all__ = [
     "detour_closure",
     "inrp_allocation",
     "MultipathAllocation",
+    "LinkSpace",
+    "IncidenceStore",
+    "maxmin_fill",
+    "inrp_fill",
     "ActiveFlow",
     "FlowRecord",
     "RoutingStrategy",

@@ -19,6 +19,7 @@ from typing import (
     Dict,
     FrozenSet,
     Hashable,
+    Iterable,
     List,
     Mapping,
     Optional,
@@ -28,6 +29,7 @@ from typing import (
 )
 
 from repro.errors import SimulationError
+from repro.flowsim import kernel as _kernel
 from repro.flowsim.multipath import inrp_allocation
 from repro.flowsim.multipath import _rel_tol as _fill_rel_tol
 from repro.routing.detour import DetourTable
@@ -37,6 +39,16 @@ FlowId = Hashable
 LinkId = Hashable
 
 _EPS = 1e-9
+
+_KERNELS = ("scalar", "vectorized")
+
+
+def _check_kernel(kernel: str) -> str:
+    if kernel not in _KERNELS:
+        raise SimulationError(
+            f"unknown kernel {kernel!r}; expected one of {', '.join(_KERNELS)}"
+        )
+    return kernel
 
 
 def _rel_tol(scale: float) -> float:
@@ -142,6 +154,119 @@ def max_min_allocation(
     return rates
 
 
+class _ComponentTracker:
+    """Amortized connectivity over the link-sharing relation.
+
+    The scalar incremental cores re-discover the dirty component with a
+    per-event BFS over the link-membership dicts — exact, but O(component
+    incidence) of Python dict traffic on *every* event.  The vectorized
+    kernel instead keeps a union-find over live flows: an arriving flow
+    unions with one representative per link it touches (all flows that
+    ever shared a link are provably in one class), a departing flow is
+    merely unlinked from its class's member set, and the whole structure
+    is rebuilt from the live population once departures since the last
+    rebuild exceed ``slack`` of it.
+
+    Between rebuilds a class may *over*-approximate the true component
+    (a departed bridge flow leaves its neighbours merged).  That is
+    exact by construction: a class is always a union of whole true
+    components, and progressive filling decomposes over components —
+    flows that share no link allocate independently, so re-filling a
+    disconnected superset reproduces every member's rate bit-for-bit,
+    at the cost of some redundant (never wrong) work.
+    """
+
+    __slots__ = (
+        "_parent",
+        "_size",
+        "_members",
+        "_link_rep",
+        "_flow_links",
+        "_removed",
+        "slack",
+        "rebuilds",
+    )
+
+    def __init__(self, slack: float = 0.25):
+        self.slack = slack
+        #: Number of full rebuilds performed (observable for tests).
+        self.rebuilds = 0
+        self._reset()
+
+    def _reset(self) -> None:
+        self._parent: Dict[FlowId, FlowId] = {}
+        self._size: Dict[FlowId, int] = {}
+        self._members: Dict[FlowId, Set[FlowId]] = {}
+        self._link_rep: Dict[LinkId, FlowId] = {}
+        self._flow_links: Dict[FlowId, Iterable[LinkId]] = {}
+        self._removed = 0
+
+    def _find(self, flow: FlowId) -> FlowId:
+        parent = self._parent
+        root = flow
+        while parent[root] != root:
+            root = parent[root]
+        while parent[flow] != root:
+            parent[flow], flow = root, parent[flow]
+        return root
+
+    def _union(self, a: FlowId, b: FlowId) -> None:
+        root_a, root_b = self._find(a), self._find(b)
+        if root_a == root_b:
+            return
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        self._members[root_a].update(self._members.pop(root_b))
+
+    def add(self, flow: FlowId, links: Iterable[LinkId]) -> None:
+        """Register an arriving flow touching *links* (kept by
+        reference; the caller must not mutate them afterwards)."""
+        self._flow_links[flow] = links
+        self._parent[flow] = flow
+        self._size[flow] = 1
+        self._members[flow] = {flow}
+        link_rep = self._link_rep
+        for link in links:
+            rep = link_rep.get(link)
+            if rep is None:
+                link_rep[link] = flow
+            else:
+                self._union(flow, rep)
+
+    def remove(self, flow: FlowId) -> None:
+        """Unlink a departing flow; rebuild once staleness dominates."""
+        del self._flow_links[flow]
+        self._members[self._find(flow)].discard(flow)
+        self._removed += 1
+        if self._removed > max(32, int(self.slack * len(self._flow_links))):
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        flow_links = self._flow_links
+        self._reset()
+        for flow, links in flow_links.items():
+            self.add(flow, links)
+        self.rebuilds += 1
+
+    def component(self, links: Iterable[LinkId]) -> Set[FlowId]:
+        """Union of the classes reachable from *links* (a superset of
+        the true dirty component, closed under live connectivity)."""
+        out: Set[FlowId] = set()
+        seen_roots: Set[FlowId] = set()
+        link_rep = self._link_rep
+        for link in links:
+            rep = link_rep.get(link)
+            if rep is None:
+                continue
+            root = self._find(rep)
+            if root not in seen_roots:
+                seen_roots.add(root)
+                out |= self._members[root]
+        return out
+
+
 class IncrementalMaxMin:
     """Max-min fair rates maintained incrementally under flow churn.
 
@@ -163,7 +288,14 @@ class IncrementalMaxMin:
     #: The simulator's adapter passes link tuples (not node paths).
     needs_paths = False
 
-    def __init__(self, capacities: Mapping[LinkId, float], verify: bool = False):
+    def __init__(
+        self,
+        capacities: Mapping[LinkId, float],
+        verify: bool = False,
+        kernel: str = "scalar",
+        compact_slack: float = 0.5,
+        min_compact_nnz: int = 4096,
+    ):
         self._capacities: Dict[LinkId, float] = {
             link: float(capacity) for link, capacity in capacities.items()
         }
@@ -174,6 +306,23 @@ class IncrementalMaxMin:
         self._dirty_links: Set[LinkId] = set()
         self._dirty_flows: Set[FlowId] = set()
         self._verify = verify
+        self._kernel = _check_kernel(kernel)
+        if self._kernel == "vectorized":
+            self._space: Optional[_kernel.LinkSpace] = _kernel.LinkSpace(
+                self._capacities
+            )
+            self._store: Optional[_kernel.IncidenceStore] = (
+                _kernel.IncidenceStore(
+                    self._space,
+                    compact_slack=compact_slack,
+                    min_compact_nnz=min_compact_nnz,
+                )
+            )
+            self._tracker: Optional[_ComponentTracker] = _ComponentTracker()
+        else:
+            self._space = None
+            self._store = None
+            self._tracker = None
         #: Worst relative incremental-vs-scratch rate deviation seen by
         #: ``verify=True`` (0.0 until the first verified recompute).
         self.max_verify_deviation = 0.0
@@ -209,6 +358,14 @@ class IncrementalMaxMin:
         if not links:
             # Source == destination: unconstrained, never shares a link.
             self._dirty_flows.add(flow)
+        if self._store is not None:
+            # The scalar solver collapses duplicate links via member
+            # sets; the kernel counts entries, so dedupe defensively.
+            if len(links) != len(set(links)):
+                links = tuple(dict.fromkeys(links))
+            self._store.add(flow, self._space.columns(links), float(demand))
+            if links:
+                self._tracker.add(flow, links)
 
     def remove_flow(self, flow: FlowId) -> None:
         """Deregister a departing flow; its component becomes dirty."""
@@ -225,6 +382,10 @@ class IncrementalMaxMin:
                 if not members:
                     del self._members[link]
             self._dirty_links.add(link)
+        if self._store is not None:
+            self._store.remove(flow)
+            if links:
+                self._tracker.remove(flow)
 
     def recompute(self, full: bool = False) -> Dict[FlowId, float]:
         """Re-fill the dirty components; return their new rate vectors.
@@ -240,6 +401,8 @@ class IncrementalMaxMin:
         dirty component keeps spanning the active set (deep overload),
         where the component BFS and subset copies are pure overhead.
         """
+        if self._kernel == "vectorized":
+            return self._recompute_vectorized(full)
         if full:
             changed = max_min_allocation(
                 self._capacities, self._flow_links, self._demands
@@ -265,6 +428,49 @@ class IncrementalMaxMin:
                 )
             )
         self._rates.update(changed)
+        self._dirty_links.clear()
+        self._dirty_flows.clear()
+        if self._verify:
+            self._check_against_scratch()
+        return changed
+
+    def _recompute_vectorized(
+        self, full: bool = False
+    ) -> Dict[FlowId, float]:
+        """The ``kernel="vectorized"`` re-fill: component selection via
+        the amortized union-find tracker, filling via
+        :func:`repro.flowsim.kernel.maxmin_fill`.  Same contract and
+        (to <= 1e-9) same results as the scalar path; the tracker may
+        return a superset of the true dirty component, which re-fills
+        to identical rates (components allocate independently)."""
+        store = self._store
+        if full:
+            flows: List[FlowId] = store.live_flows()
+            changed: Dict[FlowId, float] = {}
+        else:
+            if not self._dirty_links and not self._dirty_flows:
+                return {}
+            flows = list(self._tracker.component(self._dirty_links))
+            changed = {
+                flow: self._demands[flow] for flow in self._dirty_flows
+            }
+        if flows:
+            cols, lengths, demands, rows = store.gather(flows, with_rows=True)
+            rates = _kernel.maxmin_fill(self._space, cols, lengths, demands)
+            diff = store.diff_and_store_rates(rows, rates)
+            if full:
+                changed.update(zip(flows, rates.tolist()))
+            else:
+                # Only the rows the fill actually moved: the simulator
+                # loops over this mapping per event, and a dirty
+                # component is mostly rows whose rate came out the
+                # same as last time.
+                for spot in diff.tolist():
+                    changed[flows[spot]] = float(rates[spot])
+        if full:
+            self._rates = dict(changed)
+        else:
+            self._rates.update(changed)
         self._dirty_links.clear()
         self._dirty_flows.clear()
         if self._verify:
@@ -386,6 +592,9 @@ class IncrementalInrp:
         max_switches_per_flow: int = 16,
         verify: bool = False,
         verify_tol: float = 1e-9,
+        kernel: str = "scalar",
+        compact_slack: float = 0.5,
+        min_compact_nnz: int = 4096,
     ):
         self._capacities: Dict[LinkId, float] = {
             link: float(capacity) for link, capacity in capacities.items()
@@ -395,6 +604,35 @@ class IncrementalInrp:
         self._max_switches = max_switches_per_flow
         self._verify = verify
         self._verify_tol = verify_tol
+        self._kernel = _check_kernel(kernel)
+        if self._kernel == "vectorized":
+            self._space: Optional[_kernel.LinkSpace] = _kernel.LinkSpace(
+                self._capacities
+            )
+            # The incidence store holds each flow's *primary* columns
+            # and demand for the fill's bulk gather; component
+            # selection goes through the amortized union-find tracker
+            # over closures (the scalar path keeps the PR 3/5
+            # closure-membership BFS, which ``verify=True`` also uses
+            # to build the pinned-usage guard).
+            self._primary_store: Optional[_kernel.IncidenceStore] = (
+                _kernel.IncidenceStore(
+                    self._space,
+                    compact_slack=compact_slack,
+                    min_compact_nnz=min_compact_nnz,
+                )
+            )
+            self._tracker: Optional[_ComponentTracker] = _ComponentTracker()
+            #: Per-(u, v) detour option columns, shared across fills.
+            self._option_cache: Dict = {}
+            #: Per-path global column arrays, shared across fills.
+            self._path_cols_cache: Dict = {}
+        else:
+            self._space = None
+            self._primary_store = None
+            self._tracker = None
+            self._option_cache = {}
+            self._path_cols_cache = {}
         self._paths: Dict[FlowId, Path] = {}
         self._demands: Dict[FlowId, float] = {}
         self._order: Dict[FlowId, int] = {}
@@ -468,6 +706,12 @@ class IncrementalInrp:
             # Source == destination: never shares a link with anyone.
             self._dirty_flows.add(flow)
             self._no_closure.add(flow)
+        if self._primary_store is not None:
+            self._primary_store.add(
+                flow, self._space.columns(cached_path_links(path)), float(demand)
+            )
+            if closure:
+                self._tracker.add(flow, closure)
 
     def remove_flow(self, flow: FlowId) -> None:
         """Deregister a departing flow; its closure component becomes dirty."""
@@ -482,13 +726,18 @@ class IncrementalInrp:
             self._account_usage(departed_splits, -1.0)
         self._dirty_flows.discard(flow)
         self._no_closure.discard(flow)
-        for link in self._closures.pop(flow):
+        closure = self._closures.pop(flow)
+        for link in closure:
             members = self._members.get(link)
             if members is not None:
                 members.discard(flow)
                 if not members:
                     del self._members[link]
             self._dirty_links.add(link)
+        if self._primary_store is not None:
+            self._primary_store.remove(flow)
+            if closure:
+                self._tracker.remove(flow)
 
     def _account_usage(
         self, splits: Sequence[Tuple[Path, float]], sign: float
@@ -545,6 +794,8 @@ class IncrementalInrp:
         the whole population is re-filled (the adaptive core's
         fallback for spanning components).
         """
+        if self._kernel == "vectorized":
+            return self._recompute_vectorized(full)
         if not full and not self._dirty_links and not self._dirty_flows:
             return {}, {}, 0
         changed_rates: Dict[FlowId, float] = {}
@@ -617,6 +868,98 @@ class IncrementalInrp:
         if self._verify:
             self._check_against_scratch()
         return changed_rates, changed_splits, switches
+
+    def _recompute_vectorized(
+        self, full: bool = False
+    ) -> Tuple[
+        Dict[FlowId, float], Dict[FlowId, List[Tuple[Path, float]]], int
+    ]:
+        """The ``kernel="vectorized"`` re-fill: component selection via
+        the closure store's vectorized BFS, filling via
+        :func:`repro.flowsim.kernel.inrp_fill`.  Same contract and
+        (to <= 1e-9) same results as the scalar path."""
+        if not full and not self._dirty_links and not self._dirty_flows:
+            return {}, {}, 0
+        changed_rates: Dict[FlowId, float] = {}
+        changed_splits: Dict[FlowId, List[Tuple[Path, float]]] = {}
+        for flow in self._dirty_flows:
+            changed_rates[flow] = self._demands[flow]
+            changed_splits[flow] = [(self._paths[flow], 0.0)]
+        if full:
+            flows: List[FlowId] = self._primary_store.live_flows()
+            if self._no_closure:
+                flows = [
+                    flow for flow in flows if flow not in self._no_closure
+                ]
+            in_reach = None
+            capacity_count = len(self._capacities)
+            pinned = None
+        else:
+            if self._verify:
+                # The reach restriction is unobservable (every link a
+                # component fill can touch lies inside some member's
+                # closure, hence inside ``reach``), so the exact BFS,
+                # the restricted column set and the pinned-usage guard
+                # are built only when the fill is being cross-checked
+                # against scratch.
+                component, reach = self._dirty_component()
+                capacity_count = len(reach)
+                index = self._space.index
+                in_reach = frozenset(index[link] for link in reach)
+                pinned = self._pinned_cols(component, reach)
+            else:
+                component = self._tracker.component(self._dirty_links)
+                capacity_count = len(self._capacities)
+                in_reach = None
+                pinned = None
+            flows = sorted(component, key=self._order.__getitem__)
+        switches = 0
+        if flows:
+            paths = [self._paths[flow] for flow in flows]
+            cols, lengths, demands = self._primary_store.gather(flows)
+            result = _kernel.inrp_fill(
+                self._space,
+                flows,
+                paths,
+                cols,
+                lengths,
+                demands,
+                self._table,
+                max_replacements=self._max_replacements,
+                max_switches_per_flow=self._max_switches,
+                in_reach=in_reach,
+                pinned=pinned,
+                capacity_count=capacity_count,
+                option_cache=self._option_cache,
+                path_cols_cache=self._path_cols_cache,
+            )
+            switches = result.switches
+            for flow, splits in result.splits.items():
+                if self._verify:
+                    self._account_usage(self._splits.get(flow, []), -1.0)
+                    self._account_usage(splits, +1.0)
+                self._splits[flow] = splits
+            changed_rates.update(result.rates)
+            changed_splits.update(result.splits)
+        self._rates.update(changed_rates)
+        for flow in self._dirty_flows:
+            self._splits[flow] = changed_splits[flow]
+        self._dirty_links.clear()
+        self._dirty_flows.clear()
+        if self._verify:
+            self._check_against_scratch()
+        return changed_rates, changed_splits, switches
+
+    def _pinned_cols(
+        self, component: Set[FlowId], reach: Set[LinkId]
+    ) -> Optional[List[Tuple[int, float]]]:
+        """:meth:`_pinned_usage` translated to kernel ``(column, used)``
+        pairs (verify-only, like the scalar guard it wraps)."""
+        pinned = self._pinned_usage(component, reach)
+        if not pinned:
+            return None
+        index = self._space.index
+        return [(index[link], used) for link, used in pinned.items()]
 
     def _pinned_usage(
         self, component: Set[FlowId], reach: Set[LinkId]

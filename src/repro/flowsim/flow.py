@@ -33,6 +33,17 @@ class ActiveFlow:
         delivered = min(self.rate_bps * dt, self.remaining_bits)
         if delivered <= 0:
             return 0.0
+        if len(self.splits) == 1:
+            # Single-path flows (the vast majority) skip the share
+            # arithmetic: everything rides one sub-path.
+            path, rate = self.splits[0]
+            if rate > 0:
+                hops = len(path) - 1
+                self.bits_by_hops[hops] = (
+                    self.bits_by_hops.get(hops, 0.0) + delivered
+                )
+            self.remaining_bits -= delivered
+            return delivered
         total_rate = sum(rate for _, rate in self.splits) or self.rate_bps
         for path, rate in self.splits:
             if rate <= 0:

@@ -93,11 +93,14 @@ class MultipathAllocation:
         return weighted / (total * primary_hops)
 
 
-def _splice(path: Path, index: int, option: Path) -> Optional[Path]:
+def splice_detour(path: Path, index: int, option: Path) -> Optional[Path]:
     """Replace the link at *index* of *path* with detour *option*.
 
     *option* runs from ``path[index]`` to ``path[index + 1]``.  Returns
-    None when the spliced path would revisit a node.
+    None when the spliced path would revisit a node.  Shared by the
+    scalar filling below and the vectorized kernel
+    (:mod:`repro.flowsim.kernel`), whose reroute decisions must splice
+    identically.
     """
     if option[0] != path[index] or option[-1] != path[index + 1]:
         return None
@@ -105,6 +108,10 @@ def _splice(path: Path, index: int, option: Path) -> Optional[Path]:
     if len(set(candidate)) != len(candidate):
         return None
     return candidate
+
+
+#: Backwards-compatible private alias (pre-kernel name).
+_splice = splice_detour
 
 
 def inrp_allocation(

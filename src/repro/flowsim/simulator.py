@@ -42,7 +42,7 @@ from repro.workloads.traffic import FlowSpec
 
 _EPS = 1e-9
 
-_CORES = ("auto", "incremental", "reference")
+_CORES = ("auto", "incremental", "vectorized", "reference")
 
 
 @dataclass
@@ -229,18 +229,30 @@ class FlowLevelSimulator:
         unfinished with their partial delivery.
     core:
         ``"incremental"`` (departure heap + dirty-component
-        allocation), ``"reference"`` (the original full-rescan loop)
-        or ``"auto"`` (the default: the incremental machinery plus an
-        adaptive fallback to full refills while the dirty component
-        keeps spanning the active set — the deep-overload regime where
-        pure dirty-component search is slower than refilling).  All
-        cores produce the same :class:`SimulationResult` up to float
-        tolerance.
+        allocation), ``"vectorized"`` (the same machinery with the
+        progressive-filling rounds run by the CSR kernel of
+        :mod:`repro.flowsim.kernel`), ``"reference"`` (the original
+        full-rescan loop) or ``"auto"`` (the default: the incremental
+        machinery plus an adaptive fallback to full refills while the
+        dirty component keeps spanning the active set — the
+        deep-overload regime where pure dirty-component search is
+        slower than refilling).  All cores produce the same
+        :class:`SimulationResult` up to float tolerance.
     verify_allocator:
         When the strategy supports incremental allocation, re-check
         every incremental recompute against from-scratch
         :func:`~repro.flowsim.allocation.max_min_allocation` (slow;
         used by benchmarks and tests).
+    adaptive_threshold, adaptive_patience, adaptive_probe_every,
+    adaptive_min_active:
+        Knobs of the ``core="auto"`` fallback policy
+        (:class:`_AdaptiveCorePolicy`): switch to full refills after
+        ``adaptive_patience`` consecutive recomputes touching more than
+        ``adaptive_threshold`` of the active set (ignored below
+        ``adaptive_min_active`` flows), and probe the component size
+        every ``adaptive_probe_every``-th event while in full mode.
+        Defaults match the previously hard-coded values; the bench
+        harness sweeps them.
     """
 
     def __init__(
@@ -251,6 +263,10 @@ class FlowLevelSimulator:
         horizon: Optional[float] = None,
         core: str = "auto",
         verify_allocator: bool = False,
+        adaptive_threshold: float = 0.5,
+        adaptive_patience: int = 3,
+        adaptive_probe_every: int = 16,
+        adaptive_min_active: int = 64,
     ):
         if horizon is not None and horizon <= 0:
             raise SimulationError(f"horizon must be positive, got {horizon}")
@@ -258,12 +274,24 @@ class FlowLevelSimulator:
             raise ConfigurationError(
                 f"unknown core {core!r}; expected one of {', '.join(_CORES)}"
             )
+        if not 0.0 < adaptive_threshold <= 1.0:
+            raise ConfigurationError(
+                f"adaptive_threshold must be in (0, 1], got {adaptive_threshold}"
+            )
+        if adaptive_patience < 1 or adaptive_probe_every < 1:
+            raise ConfigurationError(
+                "adaptive_patience and adaptive_probe_every must be >= 1"
+            )
         self.topology = topology
         self.strategy = strategy
         self.specs = sorted(specs, key=lambda spec: (spec.arrival_time, spec.flow_id))
         self.horizon = horizon
         self.core = core
         self.verify_allocator = verify_allocator
+        self.adaptive_threshold = adaptive_threshold
+        self.adaptive_patience = adaptive_patience
+        self.adaptive_probe_every = adaptive_probe_every
+        self.adaptive_min_active = adaptive_min_active
 
     def run(self) -> SimulationResult:
         if self.core == "reference":
@@ -272,7 +300,8 @@ class FlowLevelSimulator:
 
     def _make_adapter(self):
         allocator = self.strategy.incremental_allocator(
-            verify=self.verify_allocator
+            verify=self.verify_allocator,
+            kernel="vectorized" if self.core == "vectorized" else "scalar",
         )
         if allocator is not None:
             return _IncrementalRecompute(allocator)
@@ -290,7 +319,14 @@ class FlowLevelSimulator:
         pending.reverse()  # pop() yields earliest arrival
         adapter = self._make_adapter()
         policy = (
-            _AdaptiveCorePolicy() if adaptive and adapter.incremental else None
+            _AdaptiveCorePolicy(
+                threshold=self.adaptive_threshold,
+                patience=self.adaptive_patience,
+                probe_every=self.adaptive_probe_every,
+                min_active=self.adaptive_min_active,
+            )
+            if adaptive and adapter.incremental
+            else None
         )
         now = 0.0
         seq = 0

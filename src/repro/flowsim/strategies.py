@@ -29,7 +29,7 @@ from repro.flowsim.multipath import inrp_allocation
 from repro.routing.detour import DetourTable
 from repro.routing.ecmp import all_shortest_paths, ecmp_hash
 from repro.routing.paths import Path, cached_path_links
-from repro.routing.shortest import shortest_path
+from repro.routing.shortest import dijkstra, path_from_tree
 from repro.topology.graph import Node, Topology
 
 FlowId = Hashable
@@ -56,13 +56,28 @@ class RoutingStrategy(abc.ABC):
         self.topology = topology
         self.capacities = topology.link_capacities()
         self._path_cache: Dict[Tuple[Node, Node], Path] = {}
+        self._sp_trees: Dict[
+            Node, Tuple[Dict[Node, float], Dict[Node, Node]]
+        ] = {}
 
     def route(self, flow_id: FlowId, source: Node, destination: Node) -> Path:
-        """Primary path for a flow (deterministic, cached)."""
+        """Primary path for a flow (deterministic, cached).
+
+        One full Dijkstra tree is cached per source and amortised over
+        every destination routed from it; per the tie-break argument in
+        :func:`repro.routing.shortest.dijkstra` the paths are identical
+        to per-pair :func:`~repro.routing.shortest.shortest_path` calls.
+        """
         key = (source, destination)
-        if key not in self._path_cache:
-            self._path_cache[key] = shortest_path(self.topology, source, destination)
-        return self._path_cache[key]
+        path = self._path_cache.get(key)
+        if path is None:
+            tree = self._sp_trees.get(source)
+            if tree is None:
+                tree = dijkstra(self.topology, source)
+                self._sp_trees[source] = tree
+            path = path_from_tree(self.topology, source, destination, tree)
+            self._path_cache[key] = path
+        return path
 
     @abc.abstractmethod
     def allocate(
@@ -70,7 +85,9 @@ class RoutingStrategy(abc.ABC):
     ) -> AllocationOutcome:
         """Allocate bandwidth to flows given ``{id: (path, demand)}``."""
 
-    def incremental_allocator(self, verify: bool = False):
+    def incremental_allocator(
+        self, verify: bool = False, kernel: str = "scalar"
+    ):
         """Fresh incremental allocator, when the sharing model admits one.
 
         Strategies whose allocation is plain e2e max-min over a single
@@ -79,8 +96,10 @@ class RoutingStrategy(abc.ABC):
         returns an :class:`~repro.flowsim.allocation.IncrementalInrp`
         over its detour-closure components.  The simulator then
         recomputes only the component dirtied by each
-        arrival/departure.  Strategies whose coupling really is global
-        return ``None`` and are recomputed in full.
+        arrival/departure.  ``kernel="vectorized"`` selects the CSR
+        filling kernel (:mod:`repro.flowsim.kernel`) inside those
+        allocators.  Strategies whose coupling really is global return
+        ``None`` and are recomputed in full.
         """
         return None
 
@@ -105,9 +124,9 @@ class ShortestPathStrategy(RoutingStrategy):
         return AllocationOutcome(rates=rates, splits=splits)
 
     def incremental_allocator(
-        self, verify: bool = False
+        self, verify: bool = False, kernel: str = "scalar"
     ) -> Optional[IncrementalMaxMin]:
-        return IncrementalMaxMin(self.capacities, verify=verify)
+        return IncrementalMaxMin(self.capacities, verify=verify, kernel=kernel)
 
 
 class EcmpStrategy(ShortestPathStrategy):
@@ -185,12 +204,15 @@ class InrpStrategy(RoutingStrategy):
             backpressured=backpressured,
         )
 
-    def incremental_allocator(self, verify: bool = False) -> IncrementalInrp:
+    def incremental_allocator(
+        self, verify: bool = False, kernel: str = "scalar"
+    ) -> IncrementalInrp:
         return IncrementalInrp(
             self.capacities,
             self.detour_table,
             max_replacements=self.max_replacements,
             verify=verify,
+            kernel=kernel,
         )
 
 

@@ -114,6 +114,33 @@ def shortest_path(
     return tuple(path)
 
 
+def path_from_tree(
+    topo: Topology,
+    source: Node,
+    destination: Node,
+    tree: Tuple[Dict[Node, float], Dict[Node, Node]],
+) -> Path:
+    """The shortest path read out of a full single-source Dijkstra tree.
+
+    ``tree`` is the ``(distances, predecessors)`` pair of a *full*
+    :func:`dijkstra` run from *source* (no ``target``).  Per the
+    tie-break argument in :func:`dijkstra`, the reconstructed path is
+    exactly what :func:`shortest_path` would return — callers routing
+    many destinations from the same source can amortise one tree over
+    all of them.  Raises :class:`NoPathError` when disconnected.
+    """
+    if not topo.has_node(destination):
+        raise RoutingError(f"unknown node: {destination!r}")
+    distances, predecessors = tree
+    if destination not in distances:
+        raise NoPathError(source, destination)
+    path = [destination]
+    while path[-1] != source:
+        path.append(predecessors[path[-1]])
+    path.reverse()
+    return tuple(path)
+
+
 def shortest_path_length(
     topo: Topology,
     source: Node,

@@ -1,0 +1,285 @@
+"""Property tests for the vectorized CSR allocation kernel.
+
+The kernel (`repro.flowsim.kernel`) must be a drop-in for the scratch
+solvers: randomized add/remove churn — including tombstone-compaction
+boundaries, tracker rebuilds, and empty / single-flow components —
+must stay within 1e-9 of `max_min_allocation` / `inrp_allocation`
+after every event.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.flowsim import FlowLevelSimulator, make_strategy
+from repro.flowsim.allocation import (
+    IncrementalInrp,
+    IncrementalMaxMin,
+    max_min_allocation,
+)
+from repro.flowsim.kernel import IncidenceStore, LinkSpace
+from repro.flowsim.multipath import inrp_allocation
+from repro.routing.detour import DetourTable
+from repro.routing.paths import cached_path_links
+from repro.topology import mesh_topology
+from repro.units import mbps
+from repro.workloads import FlowWorkload, uniform_pairs
+
+TOL = 1e-9
+
+
+def _relative_deviation(got, want):
+    worst = 0.0
+    assert got.keys() == want.keys()
+    for flow, rate in want.items():
+        worst = max(worst, abs(got[flow] - rate) / max(1.0, abs(rate)))
+    return worst
+
+
+def _churn_step(rng, live, next_id, topo, strategy, remove_probability=0.4):
+    """One churn event: remove a random live flow or route a new one."""
+    nodes = list(topo.nodes())
+    if live and rng.random() < remove_probability:
+        return ("remove", rng.choice(sorted(live)), None, None)
+    source, destination = rng.sample(nodes, 2)
+    path = tuple(strategy.route(next_id, source, destination))
+    demand = rng.choice([math.inf, mbps(200.0), mbps(50.0), 0.0])
+    return ("add", next_id, path, demand)
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_maxmin_kernel_matches_scratch_under_churn(seed):
+    """Vectorized max-min stays within 1e-9 of the scratch solver
+    across add/remove churn, with compaction forced often (tiny
+    ``min_compact_nnz``) so the tombstone boundaries are crossed
+    mid-sequence."""
+    topo = mesh_topology(24, extra_links=24, seed=seed, capacity=mbps(10))
+    strategy = make_strategy("sp", topo)
+    alloc = IncrementalMaxMin(
+        topo.link_capacities(),
+        kernel="vectorized",
+        min_compact_nnz=8,
+        compact_slack=0.2,
+    )
+    rng = random.Random(seed)
+    flow_links, demands, live = {}, {}, set()
+    next_id = 0
+    for _ in range(140):
+        action, flow, path, demand = _churn_step(rng, live, next_id, topo, strategy)
+        if action == "remove":
+            live.discard(flow)
+            del flow_links[flow], demands[flow]
+            alloc.remove_flow(flow)
+        else:
+            links = cached_path_links(path)
+            flow_links[flow], demands[flow] = links, demand
+            alloc.add_flow(flow, links, demand)
+            live.add(flow)
+            next_id += 1
+        alloc.recompute()
+        scratch = max_min_allocation(topo.link_capacities(), flow_links, demands)
+        assert _relative_deviation(alloc.rates, scratch) <= TOL
+    alloc._store.check_consistency()
+    assert alloc._store.compactions > 0, "churn never crossed a compaction"
+
+
+@pytest.mark.parametrize("seed", [1, 4])
+def test_inrp_kernel_matches_scratch_under_churn(seed):
+    """Vectorized INRP (detour splicing included) stays within 1e-9 of
+    scratch ``inrp_allocation`` across churn; the run must also cross
+    tombstone compactions and at least one tracker rebuild."""
+    topo = mesh_topology(16, extra_links=14, seed=seed, capacity=mbps(10))
+    table = DetourTable(topo)
+    strategy = make_strategy("inrp", topo)
+    alloc = IncrementalInrp(
+        topo.link_capacities(),
+        table,
+        kernel="vectorized",
+        min_compact_nnz=8,
+        compact_slack=0.2,
+    )
+    alloc._tracker.slack = 0.05  # rebuild eagerly so churn crosses one
+    rng = random.Random(seed)
+    flow_paths, demands, live = {}, {}, set()
+    next_id = 0
+    for _ in range(110):
+        action, flow, path, demand = _churn_step(rng, live, next_id, topo, strategy)
+        if action == "remove":
+            live.discard(flow)
+            del flow_paths[flow], demands[flow]
+            alloc.remove_flow(flow)
+        else:
+            flow_paths[flow], demands[flow] = path, demand
+            alloc.add_flow(flow, path, demand)
+            live.add(flow)
+            next_id += 1
+        alloc.recompute()
+        scratch = inrp_allocation(
+            topo.link_capacities(), flow_paths, demands, table
+        )
+        assert _relative_deviation(alloc.rates, scratch.rates) <= TOL
+    alloc._primary_store.check_consistency()
+    assert alloc._primary_store.compactions > 0
+    assert alloc._tracker.rebuilds > 0
+
+
+@pytest.mark.parametrize("kernel_cls", ["sp", "inrp"])
+def test_empty_and_single_flow_components(kernel_cls):
+    """Degenerate shapes: no flows at all, a single flow, a zero-demand
+    flow, and removal back down to empty."""
+    topo = mesh_topology(8, extra_links=4, seed=0, capacity=mbps(10))
+    if kernel_cls == "sp":
+        alloc = IncrementalMaxMin(topo.link_capacities(), kernel="vectorized")
+    else:
+        alloc = IncrementalInrp(
+            topo.link_capacities(), DetourTable(topo), kernel="vectorized"
+        )
+    alloc.recompute()
+    assert alloc.rates == {}
+
+    strategy = make_strategy(kernel_cls, topo)
+    nodes = list(topo.nodes())
+    path = tuple(strategy.route(0, nodes[0], nodes[-1]))
+    if kernel_cls == "sp":
+        alloc.add_flow(0, cached_path_links(path), math.inf)
+        expected = max_min_allocation(
+            topo.link_capacities(), {0: cached_path_links(path)}, {0: math.inf}
+        )[0]
+    else:
+        alloc.add_flow(0, path, math.inf)
+        # A lone INRP flow detours past its saturated primary path and
+        # pools extra capacity, so compare against the scratch solver.
+        expected = inrp_allocation(
+            topo.link_capacities(), {0: path}, {0: math.inf}, DetourTable(topo)
+        ).rates[0]
+    alloc.recompute()
+    assert alloc.rates[0] == pytest.approx(expected, rel=1e-9)
+    assert expected >= mbps(10) * (1 - 1e-9)
+
+    # A second, zero-demand flow rides along at rate 0.
+    other = tuple(strategy.route(1, nodes[1], nodes[-2]))
+    if kernel_cls == "sp":
+        alloc.add_flow(1, cached_path_links(other), 0.0)
+    else:
+        alloc.add_flow(1, other, 0.0)
+    alloc.recompute()
+    assert alloc.rates[1] == 0.0
+
+    alloc.remove_flow(0)
+    alloc.remove_flow(1)
+    alloc.recompute()
+    assert alloc.rates == {}
+
+
+def test_incidence_store_compaction_preserves_rows():
+    """Direct store-level check: tombstoned rows vanish, live rows keep
+    their columns and demands across a forced compaction."""
+    space = LinkSpace({("a", "b"): 1.0, ("b", "c"): 2.0, ("c", "d"): 3.0})
+    ab, bc, cd = (
+        space.index[("a", "b")],
+        space.index[("b", "c")],
+        space.index[("c", "d")],
+    )
+    store = IncidenceStore(space, compact_slack=0.2, min_compact_nnz=2)
+    store.add(0, [ab, bc], 5.0)
+    store.add(1, [bc, cd], 7.0)
+    store.add(2, [ab], 9.0)
+    store.remove(0)
+    store.remove(1)
+    store.add(3, [cd], 11.0)  # triggers compaction over tombstones
+    store.check_consistency()
+    assert store.compactions >= 1
+    assert sorted(store.live_flows()) == [2, 3]
+    cols, lengths, demands = store.gather([2, 3])
+    assert list(lengths) == [1, 1]
+    assert list(demands) == [9.0, 11.0]
+    assert list(cols) == [space.index[("a", "b")], space.index[("c", "d")]]
+
+
+def test_inrp_cross_core_overload_equivalence():
+    """Reference vs vectorized INRP records at deep overload (spanning
+    components, heavy detour churn).  ``total_switches`` is excluded:
+    both incremental cores re-fill only dirty components and so do not
+    re-count the switches of untouched components."""
+    topo = mesh_topology(14, extra_links=12, seed=2, capacity=mbps(10))
+    workload = FlowWorkload(
+        topo,
+        arrival_rate=600.0,
+        mean_size_bits=4e6,
+        demand_bps=mbps(10),
+        seed=2,
+        pair_sampler=uniform_pairs(topo, seed=3),
+    )
+    specs = workload.generate(max_flows=70)
+    runs = {}
+    for core in ("reference", "vectorized"):
+        strategy = make_strategy("inrp", topo)
+        runs[core] = FlowLevelSimulator(topo, strategy, specs, core=core).run()
+    ref, vec = runs["reference"], runs["vectorized"]
+    assert len(ref.records) == len(vec.records)
+    for a, b in zip(ref.records, vec.records):
+        assert a.flow_id == b.flow_id
+        assert a.completed == b.completed
+        if a.completed:
+            assert b.fct == pytest.approx(a.fct, rel=1e-6, abs=1e-9)
+        assert b.delivered_bits == pytest.approx(
+            a.delivered_bits, rel=1e-6, abs=1e-3
+        )
+    assert vec.unfinished == ref.unfinished
+    assert vec.network_throughput == pytest.approx(
+        ref.network_throughput, rel=1e-6
+    )
+
+
+@pytest.mark.parametrize("strategy_name", ["sp", "ecmp", "inrp"])
+def test_vectorized_core_verified_inside_simulator(strategy_name):
+    """``verify_allocator=True`` cross-checks every vectorized
+    recompute against the scratch solver inside the simulator loop."""
+    topo = mesh_topology(14, extra_links=10, seed=1, capacity=mbps(10))
+    workload = FlowWorkload(
+        topo,
+        arrival_rate=120.0,
+        mean_size_bits=2e6,
+        demand_bps=mbps(10),
+        seed=1,
+        pair_sampler=uniform_pairs(topo, seed=2),
+    )
+    specs = workload.generate(max_flows=40)
+    result = FlowLevelSimulator(
+        topo,
+        make_strategy(strategy_name, topo),
+        specs,
+        core="vectorized",
+        verify_allocator=True,
+    ).run()
+    assert result.max_verify_deviation is not None
+    assert result.max_verify_deviation <= TOL
+
+
+def test_adaptive_policy_kwargs_reach_the_policy():
+    """The simulator's adaptive-core knobs are configurable (satellite
+    of the kernel PR): custom values must land on the policy object and
+    invalid ones must be rejected."""
+    from repro.errors import ConfigurationError
+
+    topo = mesh_topology(8, extra_links=4, seed=0, capacity=mbps(10))
+    strategy = make_strategy("sp", topo)
+    sim = FlowLevelSimulator(
+        topo,
+        strategy,
+        [],
+        adaptive_threshold=0.75,
+        adaptive_patience=5,
+        adaptive_probe_every=8,
+        adaptive_min_active=32,
+    )
+    assert sim.adaptive_threshold == 0.75
+    assert sim.adaptive_patience == 5
+    assert sim.adaptive_probe_every == 8
+    assert sim.adaptive_min_active == 32
+    sim.run()  # empty spec list still exercises policy construction
+    with pytest.raises(ConfigurationError):
+        FlowLevelSimulator(topo, strategy, [], adaptive_threshold=0.0)
+    with pytest.raises(ConfigurationError):
+        FlowLevelSimulator(topo, strategy, [], adaptive_patience=0)
