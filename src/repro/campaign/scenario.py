@@ -148,3 +148,4 @@ def load_builtin_scenarios() -> None:
     import repro.analysis.fig4  # noqa: F401
     import repro.analysis.table1  # noqa: F401
     import repro.campaign.sweeps  # noqa: F401
+    import repro.validation.harness  # noqa: F401

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Iterator, Mapping, Optional, Union
 
@@ -77,6 +78,8 @@ class ResultStore:
             record = json.loads(path.read_text())
         except (OSError, ValueError):
             return None
+        if not isinstance(record, dict):
+            return None
         if record.get("schema_version") != SCHEMA_VERSION:
             return None
         return record
@@ -111,14 +114,35 @@ class ResultStore:
     def iter_records(
         self, scenario: Optional[str] = None
     ) -> Iterator[Dict[str, Any]]:
-        """Yield stored records (current schema only), sorted by path."""
+        """Yield stored records (current schema only), sorted by path.
+
+        Damaged files — unreadable, truncated/corrupt JSON, or JSON
+        that is not a record object — are skipped with a
+        :class:`RuntimeWarning` naming the file, so ``campaign
+        report`` over a partially-written store degrades instead of
+        crashing.  Records from a different schema version are skipped
+        silently: they are a stale cache, not damage.
+        """
         if not self.root.exists():
             return
         pattern = f"{scenario}/*.json" if scenario else "*/*.json"
         for path in sorted(self.root.glob(pattern)):
             try:
                 record = json.loads(path.read_text())
-            except (OSError, ValueError):
+            except (OSError, ValueError) as exc:
+                warnings.warn(
+                    f"skipping corrupt campaign record {path}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            if not isinstance(record, dict):
+                warnings.warn(
+                    f"skipping malformed campaign record {path}: "
+                    f"expected a JSON object, got {type(record).__name__}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
                 continue
             if record.get("schema_version") != SCHEMA_VERSION:
                 continue

@@ -18,13 +18,12 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.chunksim.config import ChunkSimConfig
-from repro.chunksim.engine import Event
 from repro.chunksim.messages import Backpressure, DataChunk, Request
 from repro.chunksim.router import Router
 from repro.errors import SimulationError
 
 
-@dataclass
+@dataclass(slots=True)
 class AimdFlow:
     flow_id: int
     sender: object
@@ -32,7 +31,8 @@ class AimdFlow:
     window: float = 2.0
     next_new: int = 0
     received: Set[int] = field(default_factory=set)
-    outstanding: Dict[int, Event] = field(default_factory=dict)
+    #: chunk id -> engine timer entry (see ``Simulator.schedule_entry``).
+    outstanding: Dict[int, object] = field(default_factory=dict)
     retransmit: Deque[int] = field(default_factory=deque)
     completion_time: Optional[float] = None
     arrivals: List[Tuple[float, int]] = field(default_factory=list)
@@ -55,6 +55,12 @@ class AimdReceiverApp:
         self.config = config
         self.sim = router.sim
         self.flows: Dict[int, AimdFlow] = {}
+        # Per-request constants and bound methods (hot path: one
+        # request per chunk plus every retransmission).
+        self._schedule_entry = router.sim.schedule_entry
+        self._cancel_entry = router.sim.cancel_entry
+        self._rto = config.aimd_rto
+        self._request_bytes = config.request_bytes
 
     def owns(self, flow_id: int) -> bool:
         return flow_id in self.flows
@@ -76,7 +82,7 @@ class AimdReceiverApp:
         flow = self.flows[chunk.flow_id]
         timer = flow.outstanding.pop(chunk.chunk_id, None)
         if timer is not None:
-            timer.cancel()
+            self._cancel_entry(timer)
         if chunk.chunk_id in flow.received:
             flow.duplicates += 1
         else:
@@ -93,9 +99,8 @@ class AimdReceiverApp:
         self._fill_window(flow)
 
     def _on_timeout(self, flow: AimdFlow, chunk_id: int) -> None:
-        if chunk_id not in flow.outstanding:
+        if flow.outstanding.pop(chunk_id, None) is None:
             return
-        del flow.outstanding[chunk_id]
         flow.timeouts += 1
         # Multiplicative decrease.
         flow.window = max(flow.window / 2.0, 1.0)
@@ -103,7 +108,8 @@ class AimdReceiverApp:
         self._fill_window(flow)
 
     def _fill_window(self, flow: AimdFlow) -> None:
-        while len(flow.outstanding) < int(flow.window):
+        target = int(flow.window)
+        while len(flow.outstanding) < target:
             chunk_id = self._next_chunk(flow)
             if chunk_id is None:
                 return
@@ -121,19 +127,21 @@ class AimdReceiverApp:
         return None
 
     def _request(self, flow: AimdFlow, chunk_id: int) -> None:
+        # Positional construction; anticipate_to == chunk_id because
+        # the baseline does not anticipate.
         request = Request(
-            flow_id=flow.flow_id,
-            next_chunk=chunk_id,
-            ack=flow.next_needed - 1,
-            anticipate_to=chunk_id,  # the baseline does not anticipate
-            receiver=self.router.node_id,
-            sender=flow.sender,
-            size_bytes=self.config.request_bytes,
+            flow.flow_id,
+            chunk_id,
+            flow.next_needed - 1,
+            chunk_id,
+            self.router.node_id,
+            flow.sender,
+            self._request_bytes,
         )
-        flow.outstanding[chunk_id] = self.sim.schedule(
-            self.config.aimd_rto, lambda: self._on_timeout(flow, chunk_id)
+        flow.outstanding[chunk_id] = self._schedule_entry(
+            self._rto, self._on_timeout, flow, chunk_id
         )
-        self.router.receive_local_request(request)
+        self.router._on_request(request)
 
 
 class AimdSenderApp:
@@ -142,31 +150,36 @@ class AimdSenderApp:
     def __init__(self, router: Router, config: ChunkSimConfig):
         self.router = router
         self.config = config
-        self.flows: Dict[int, Tuple[object, int]] = {}
+        #: flow -> (receiver, total chunks, iface toward receiver).
+        self.flows: Dict[int, Tuple[object, int, object]] = {}
         self.chunks_sent = 0
+        self._chunk_bytes = config.chunk_bytes
 
     def owns(self, flow_id: int) -> bool:
         return flow_id in self.flows
 
     def add_flow(self, flow_id: int, receiver, total_chunks: int) -> None:
-        self.flows[flow_id] = (receiver, total_chunks)
-
-    def on_request(self, request: Request) -> None:
-        receiver, total = self.flows[request.flow_id]
-        if not 0 <= request.next_chunk < total:
-            return
-        chunk = DataChunk(
-            flow_id=request.flow_id,
-            chunk_id=request.next_chunk,
-            size_bytes=self.config.chunk_bytes,
-            receiver=receiver,
-            sender=self.router.node_id,
-        )
-        self.chunks_sent += 1
         next_hop = self.router.fib.get(receiver)
         if next_hop is None:
             raise SimulationError(f"no route from AIMD sender to {receiver!r}")
-        self.router.forward(chunk, next_hop, upstream=self.router.node_id)
+        self.flows[flow_id] = (receiver, total_chunks, self.router.ifaces[next_hop])
+
+    def on_request(self, request: Request) -> None:
+        receiver, total, iface = self.flows[request.flow_id]
+        chunk_id = request.next_chunk
+        if not 0 <= chunk_id < total:
+            return
+        router = self.router
+        chunk = DataChunk(
+            request.flow_id, chunk_id, self._chunk_bytes, receiver, router.node_id
+        )
+        self.chunks_sent += 1
+        # Inlined drop-tail forward (the baseline's only data path):
+        # drive the link directly, mirroring Router.forward's AIMD arm.
+        chunk.prev_hop = router.node_id
+        if not iface.link.send(chunk):
+            router.drops += 1
+            router.trace.record(router.sim.now, router.node_id, "drop-tail")
 
     def on_backpressure(self, signal: Backpressure) -> None:
         """The baseline ignores in-network signals (there are none)."""

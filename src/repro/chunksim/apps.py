@@ -17,8 +17,9 @@ request carries ``⟨Nc, ACKc, Ac⟩`` with ``Ac = Nc + anticipation``.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.chunksim.config import ChunkSimConfig
 from repro.chunksim.interface import RouterInterface
@@ -30,11 +31,13 @@ PUSH = "push"
 BACKPRESSURE = "backpressure"
 
 
-@dataclass
+@dataclass(slots=True)
 class SenderFlow:
     flow_id: int
     receiver: object
     total_chunks: int
+    #: The outgoing interface toward the receiver (static FIB).
+    iface: Optional[RouterInterface] = None
     next_push: int = 0
     highest_requested: int = -1
     anticipate_limit: int = -1
@@ -66,8 +69,9 @@ class SenderApp:
         self.sim = router.sim
         self.flows: Dict[int, SenderFlow] = {}
         #: Round-robin order per outgoing interface.
-        self._rr: Dict[object, List[int]] = {}
+        self._rr: Dict[object, Deque[int]] = {}
         self.bp_signals = 0
+        self._low_wm_bytes = config.low_watermark_bytes
 
     def owns(self, flow_id: int) -> bool:
         return flow_id in self.flows
@@ -80,16 +84,19 @@ class SenderApp:
         next_hop = self.router.fib.get(receiver)
         if next_hop is None:
             raise SimulationError(f"no route from sender to {receiver!r}")
-        self._rr.setdefault(next_hop, []).append(flow_id)
+        flow.iface = self.router.ifaces.get(next_hop)
+        self._rr.setdefault(next_hop, deque()).append(flow_id)
         return flow
 
     # ------------------------------------------------------------------
     def on_request(self, request: Request) -> None:
         flow = self.flows[request.flow_id]
-        flow.highest_requested = max(flow.highest_requested, request.next_chunk)
-        flow.anticipate_limit = max(flow.anticipate_limit, request.anticipate_to)
+        if request.next_chunk > flow.highest_requested:
+            flow.highest_requested = request.next_chunk
+        if request.anticipate_to > flow.anticipate_limit:
+            flow.anticipate_limit = request.anticipate_to
         flow.credits += 1
-        self.pump(self._iface_for(flow))
+        self.pump(flow.iface)
 
     def on_backpressure(self, signal: Backpressure) -> None:
         flow = self.flows.get(signal.flow_id)
@@ -99,14 +106,14 @@ class SenderApp:
         flow.mode = BACKPRESSURE
         flow.allowed_bps = signal.allowed_bps
         flow.last_bp_time = self.sim.now
-        self.sim.schedule(self.config.resume_timeout, lambda: self._maybe_resume(flow))
+        self.sim.call_after(self.config.resume_timeout, self._maybe_resume, flow)
 
     def _maybe_resume(self, flow: SenderFlow) -> None:
         if flow.mode != BACKPRESSURE:
             return
         if self.sim.now - flow.last_bp_time >= self.config.resume_timeout - 1e-9:
             flow.mode = PUSH
-            self.pump(self._iface_for(flow))
+            self.pump(flow.iface)
 
     # ------------------------------------------------------------------
     def pump(self, iface: Optional[RouterInterface]) -> None:
@@ -121,15 +128,15 @@ class SenderApp:
         order = self._rr.get(iface.neighbor)
         if not order:
             return
-        while iface.link.queue_bytes < self.config.low_watermark_bytes:
+        while iface.link.queue_bytes < self._low_wm_bytes:
             flow = self._next_sendable(order)
             if flow is None:
                 return
             self._send_chunk(flow, iface)
 
-    def _next_sendable(self, order: List[int]) -> Optional[SenderFlow]:
+    def _next_sendable(self, order: Deque[int]) -> Optional[SenderFlow]:
         for _ in range(len(order)):
-            flow_id = order.pop(0)
+            flow_id = order.popleft()
             order.append(flow_id)
             flow = self.flows[flow_id]
             if flow.sendable():
@@ -154,14 +161,8 @@ class SenderApp:
             flow.credits -= 1
         self.router.forward(chunk, iface.neighbor, upstream=self.router.node_id)
 
-    def _iface_for(self, flow: SenderFlow) -> Optional[RouterInterface]:
-        next_hop = self.router.fib.get(flow.receiver)
-        if next_hop is None:
-            return None
-        return self.router.ifaces.get(next_hop)
 
-
-@dataclass
+@dataclass(slots=True)
 class ReceiverFlow:
     flow_id: int
     sender: object

@@ -44,14 +44,25 @@ class RouterInterface:
         self.config = config
         self.anticipated = RateEstimator(window=config.ti)
         self.custody = CustodyStore(config.custody_bytes)
+        #: The neighbour this interface points at (plain attribute:
+        #: read in every forward/pump decision).
+        self.neighbor = link.dst
         self._custody_queue: Deque[DataChunk] = deque()
         #: Flow ids seen recently (flow -> last time), for fair-share
         #: estimates in back-pressure notifications.
         self._flows_seen = {}
-
-    @property
-    def neighbor(self):
-        return self.link.dst
+        # Hot-path constants: the config exposes these as computed
+        # properties, which is too slow for per-chunk decisions.
+        self._high_wm_bytes = config.high_watermark_bytes
+        self._low_wm_bytes = config.low_watermark_bytes
+        self._rho_rate = config.rho * link.rate_bps
+        self._flow_horizon = 2 * config.ti
+        # The anticipated rate and the stale-flow prune are pure
+        # functions of the clock between records, so each is computed
+        # at most once per simulated instant.
+        self._rate_cache = 0.0
+        self._rate_cache_at = -1.0
+        self._pruned_at = -1.0
 
     # ------------------------------------------------------------------
     # Eq. 1 bookkeeping
@@ -63,10 +74,15 @@ class RouterInterface:
         will come back out through this interface.
         """
         self.anticipated.record(self.sim.now, data_bits)
+        self._rate_cache_at = -1.0
 
     def anticipated_bps(self) -> float:
         """The anticipated rate ``r_a`` for the next interval."""
-        return self.anticipated.rate(self.sim.now)
+        now = self.sim.now
+        if now != self._rate_cache_at:
+            self._rate_cache = self.anticipated.rate(now)
+            self._rate_cache_at = now
+        return self._rate_cache
 
     # ------------------------------------------------------------------
     # Phase machine
@@ -80,17 +96,15 @@ class RouterInterface:
 
     def is_congested(self) -> bool:
         """True when the interface should not take more line load."""
-        if self.link.queue_bytes >= self.config.high_watermark_bytes:
+        if self.link.queue_bytes >= self._high_wm_bytes:
             return True
-        return self.anticipated_bps() > self.config.rho * self.link.rate_bps
+        return self.anticipated_bps() > self._rho_rate
 
     def can_accept(self, size_bytes: int) -> bool:
         """Room on the line without overtaking custody chunks."""
         if self._custody_queue:
             return False
-        return (
-            self.link.queue_bytes + size_bytes <= self.config.high_watermark_bytes
-        )
+        return self.link.queue_bytes + size_bytes <= self._high_wm_bytes
 
     # ------------------------------------------------------------------
     # Data path
@@ -111,7 +125,7 @@ class RouterInterface:
         """Move one custody chunk to the line if there is room."""
         if not self._custody_queue:
             return None
-        if self.link.queue_bytes > self.config.low_watermark_bytes:
+        if self.link.queue_bytes > self._low_wm_bytes:
             return None
         released = self.custody.release()
         if released is None:
@@ -131,10 +145,17 @@ class RouterInterface:
         self._flows_seen[flow_id] = self.sim.now
 
     def active_flow_count(self) -> int:
-        horizon = self.sim.now - 2 * self.config.ti
-        stale = [fid for fid, t in self._flows_seen.items() if t < horizon]
-        for fid in stale:
-            del self._flows_seen[fid]
+        # Prune once per instant: between same-instant calls entries
+        # can only be added or refreshed at ``now`` (never made stale),
+        # so skipping the re-scan returns exactly the same count.
+        now = self.sim.now
+        if now != self._pruned_at:
+            horizon = now - self._flow_horizon
+            flows = self._flows_seen
+            stale = [fid for fid, t in flows.items() if t < horizon]
+            for fid in stale:
+                del flows[fid]
+            self._pruned_at = now
         return max(len(self._flows_seen), 1)
 
     def fair_share_bps(self) -> float:

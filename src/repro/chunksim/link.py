@@ -54,20 +54,35 @@ class SimLink:
         delay_s: float,
         buffer_bytes: Optional[int] = None,
         deliver: Optional[Callable] = None,
+        deliver_data: Optional[Callable] = None,
     ):
         if rate_bps <= 0:
             raise ConfigurationError(f"rate must be positive, got {rate_bps}")
         if delay_s < 0:
             raise ConfigurationError(f"delay must be >= 0, got {delay_s}")
         self.sim = sim
+        self._call_after = sim.call_after
         self.src = src
         self.dst = dst
         self.rate_bps = float(rate_bps)
+        # Serialisation seconds per byte; tx_time is called per packet.
+        self._tx_per_byte = BITS_PER_BYTE / self.rate_bps
         self.delay_s = float(delay_s)
         self.buffer_bytes = buffer_bytes
         self._deliver = deliver
+        # Packets from the data queue are always data chunks, so their
+        # delivery can bind the receiver's data handler directly and
+        # skip the per-packet type dispatch (control packets vary in
+        # type and keep going through *deliver*).
+        self._deliver_data = deliver_data if deliver_data is not None else deliver
+        #: Optional class -> handler map of the receiving node.  When
+        #: set, control packets are dispatched at send time (the class
+        #: is known here) instead of through *deliver* on arrival.
+        self.control_handlers: Optional[dict] = None
         self._queue: Deque = deque()
-        self._queued_bytes = 0
+        #: Bytes waiting (not counting the packet on the wire).  A
+        #: plain attribute: read on every enqueue/phase decision.
+        self.queue_bytes = 0
         self._busy = False
         self.stats = LinkStats()
         #: Called with no arguments whenever a transmission finishes
@@ -76,16 +91,11 @@ class SimLink:
 
     # ------------------------------------------------------------------
     @property
-    def queue_bytes(self) -> int:
-        """Bytes waiting (not counting the packet on the wire)."""
-        return self._queued_bytes
-
-    @property
     def busy(self) -> bool:
         return self._busy
 
     def tx_time(self, size_bytes: int) -> float:
-        return size_bytes * BITS_PER_BYTE / self.rate_bps
+        return size_bytes * self._tx_per_byte
 
     def utilization(self) -> float:
         """Fraction of elapsed simulated time the link was sending."""
@@ -98,15 +108,14 @@ class SimLink:
         """Queue *packet* for transmission; False when dropped."""
         if (
             self.buffer_bytes is not None
-            and self._queued_bytes + packet.size_bytes > self.buffer_bytes
+            and self.queue_bytes + packet.size_bytes > self.buffer_bytes
         ):
             self.stats.drops += 1
             return False
         self._queue.append(packet)
-        self._queued_bytes += packet.size_bytes
-        self.stats.peak_queue_bytes = max(
-            self.stats.peak_queue_bytes, self._queued_bytes
-        )
+        self.queue_bytes += packet.size_bytes
+        if self.queue_bytes > self.stats.peak_queue_bytes:
+            self.stats.peak_queue_bytes = self.queue_bytes
         if not self._busy:
             self._start_next()
         return True
@@ -114,7 +123,13 @@ class SimLink:
     def send_control(self, packet) -> None:
         """Deliver a control packet after the propagation delay only."""
         self.stats.control_packets += 1
-        self.sim.schedule(self.delay_s, lambda: self._deliver(packet, self))
+        handlers = self.control_handlers
+        if handlers is not None:
+            fn = handlers.get(packet.__class__)
+            if fn is not None:
+                self._call_after(self.delay_s, fn, packet, self)
+                return
+        self._call_after(self.delay_s, self._deliver, packet, self)
 
     # ------------------------------------------------------------------
     def _start_next(self) -> None:
@@ -122,16 +137,16 @@ class SimLink:
             self._busy = False
             return
         packet = self._queue.popleft()
-        self._queued_bytes -= packet.size_bytes
+        self.queue_bytes -= packet.size_bytes
         self._busy = True
-        tx = self.tx_time(packet.size_bytes)
+        tx = packet.size_bytes * self._tx_per_byte
         self.stats.busy_time += tx
         self.stats.data_packets += 1
         self.stats.data_bytes += packet.size_bytes
-        self.sim.schedule(tx, lambda: self._finish(packet))
+        self._call_after(tx, self._finish, packet)
 
     def _finish(self, packet) -> None:
-        self.sim.schedule(self.delay_s, lambda: self._deliver(packet, self))
+        self._call_after(self.delay_s, self._deliver_data, packet, self)
         self._start_next()
         if self.on_tx_complete is not None:
             self.on_tx_complete()

@@ -16,7 +16,7 @@ from repro.topology.graph import Node
 _serial = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """Receiver-driven request packet ``⟨Nc, ACKc, Ac⟩``."""
 
@@ -34,7 +34,7 @@ class Request:
     serial: int = field(default_factory=lambda: next(_serial))
 
 
-@dataclass
+@dataclass(slots=True)
 class DataChunk:
     """One named content chunk travelling sender -> receiver."""
 
@@ -55,7 +55,7 @@ class DataChunk:
     serial: int = field(default_factory=lambda: next(_serial))
 
 
-@dataclass
+@dataclass(slots=True)
 class Backpressure:
     """Hop-by-hop back-pressure notification.
 
@@ -72,11 +72,13 @@ class Backpressure:
     allowed_bps: float
     #: Originating (congested) node.
     origin: Node = None
+    #: The flow's sender, for hop-by-hop relaying toward it.
+    sender: Node = None
     size_bytes: int = 64
     serial: int = field(default_factory=lambda: next(_serial))
 
 
-@dataclass
+@dataclass(slots=True)
 class Gossip:
     """Periodic one-hop neighbour state exchange (Section 3.3 (i)).
 

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional
 from repro.chunksim.aimd import AimdReceiverApp, AimdSenderApp
 from repro.chunksim.apps import ReceiverApp, SenderApp
 from repro.chunksim.config import ChunkSimConfig
-from repro.chunksim.engine import Simulator
+from repro.chunksim.engine import make_engine
 from repro.chunksim.link import SimLink
 from repro.chunksim.router import Router
 from repro.chunksim.tracing import Trace
@@ -46,12 +46,20 @@ class FlowReport:
     mean_hops: float
     detoured_chunks: int
     duplicates: int
+    start_time: float = 0.0
 
     @property
     def received_fraction(self) -> float:
         if self.total_chunks == 0:
             return 1.0
         return self.received_chunks / self.total_chunks
+
+    @property
+    def fct(self) -> Optional[float]:
+        """Flow completion time in seconds (None when unfinished)."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.start_time
 
 
 @dataclass
@@ -94,6 +102,7 @@ class ChunkNetwork:
         mode: str = "inrpp",
         config: Optional[ChunkSimConfig] = None,
         trace: Optional[Trace] = None,
+        engine: str = "modern",
     ):
         if mode not in ("inrpp", "aimd"):
             raise ConfigurationError(f"unknown mode {mode!r}")
@@ -103,7 +112,8 @@ class ChunkNetwork:
         self.mode = mode
         self.config = config or ChunkSimConfig()
         self.trace = trace or Trace()
-        self.sim = Simulator()
+        self.engine = engine
+        self.sim = make_engine(engine)
         self.routers: Dict[Node, Router] = {}
         self.links: List[SimLink] = []
         self._flow_meta: Dict[int, Dict] = {}
@@ -131,7 +141,9 @@ class ChunkNetwork:
                     delay_s=delay,
                     buffer_bytes=buffer_bytes,
                     deliver=self.routers[b].receive,
+                    deliver_data=self.routers[b]._on_data,
                 )
+                link.control_handlers = self.routers[b]._handlers
                 self.routers[a].attach_link(link)
                 self.links.append(link)
         for destination in self.topology.nodes():
@@ -193,7 +205,7 @@ class ChunkNetwork:
             "start_time": start_time,
         }
         receiver_app = receiver_router.receiver_app
-        self.sim.schedule_at(start_time, lambda: receiver_app.start(flow_id))
+        self.sim.call_at(start_time, receiver_app.start, flow_id)
         return flow_id
 
     # ------------------------------------------------------------------
@@ -256,6 +268,7 @@ class ChunkNetwork:
                     mean_hops=(state.hops_total / received) if received else 0.0,
                     detoured_chunks=state.detoured_chunks,
                     duplicates=state.duplicates,
+                    start_time=meta["start_time"],
                 )
             )
         report.link_utilization = {

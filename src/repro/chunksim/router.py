@@ -20,6 +20,7 @@ is what the e2e baseline of Fig. 3 runs over.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
 from repro.chunksim.config import ChunkSimConfig
@@ -64,6 +65,22 @@ class Router:
         self.sender_app = None
         self.receiver_app = None
         self.drops = 0
+        # Hot-path constants (config properties recompute per call).
+        self._high_wm_bytes = config.high_watermark_bytes
+        self._chunk_bits = config.chunk_bytes * BITS_PER_BYTE
+        self._inrpp = mode == "inrpp"
+        self._call_after = sim.call_after
+        #: flow id -> (relay link, next-hop request handler, Eq. 1
+        #: interface or None).  The FIB is static after build, so a
+        #: flow's relay route never changes.
+        self._request_route: Dict[int, Tuple] = {}
+        # Exact-class receive dispatch (no isinstance chain per packet).
+        self._handlers = {
+            DataChunk: self._on_data,
+            Request: self._on_request,
+            Backpressure: self._on_backpressure,
+            Gossip: self._on_gossip,
+        }
 
     # ------------------------------------------------------------------
     # Wiring (done by ChunkNetwork)
@@ -71,7 +88,7 @@ class Router:
     def attach_link(self, link: SimLink) -> RouterInterface:
         iface = RouterInterface(self.sim, link, self.config)
         self.ifaces[link.dst] = iface
-        link.on_tx_complete = lambda: self._on_iface_drain(iface)
+        link.on_tx_complete = partial(self._on_iface_drain, iface)
         return iface
 
     def iface_toward(self, destination: Node) -> RouterInterface:
@@ -86,16 +103,10 @@ class Router:
     # Receive dispatch (links deliver here)
     # ------------------------------------------------------------------
     def receive(self, packet, via_link: SimLink) -> None:
-        if isinstance(packet, DataChunk):
-            self._on_data(packet, upstream=via_link.src)
-        elif isinstance(packet, Request):
-            self._on_request(packet)
-        elif isinstance(packet, Backpressure):
-            self._on_backpressure(packet)
-        elif isinstance(packet, Gossip):
-            self._on_gossip(packet)
-        else:
+        handler = self._handlers.get(packet.__class__)
+        if handler is None:
             raise SimulationError(f"unknown packet type: {packet!r}")
+        handler(packet, via_link)
 
     # ------------------------------------------------------------------
     # Requests (travel receiver -> sender on the control fast path)
@@ -104,29 +115,59 @@ class Router:
         """Entry point for requests issued by a local receiver app."""
         self._on_request(request)
 
-    def _on_request(self, request: Request) -> None:
-        if self.sender_app is not None and self.sender_app.owns(request.flow_id):
-            self.sender_app.on_request(request)
+    def _on_request(self, request: Request, via_link: Optional[SimLink] = None) -> None:
+        app = self.sender_app
+        if app is not None and request.flow_id in app.flows:
+            app.on_request(request)
             return
-        next_hop = self.fib.get(request.sender)
-        if next_hop is None:
+        # The relay route is per-flow static (the FIB never changes
+        # after build), so it is resolved once per flow id — including
+        # the receiving neighbour's request handler, which lets the
+        # relay schedule the delivery directly.
+        route = self._request_route.get(request.flow_id)
+        if route is None:
+            route = self._resolve_request_route(request)
+        relay_link, relay_handler, data_iface = route
+        if relay_link is None:
             self.trace.record(self.sim.now, self.node_id, "request-unroutable")
             return
-        # Eq. 1: the data answering this request will leave through the
-        # interface toward the receiver — record the anticipated load.
-        data_iface = self.ifaces.get(self.fib.get(request.receiver))
         if data_iface is not None:
-            data_iface.anticipate(self.config.chunk_bytes * BITS_PER_BYTE)
+            # Eq. 1: the data answering this request will leave through
+            # the interface toward the receiver — record the load.
+            data_iface.anticipate(self._chunk_bits)
             data_iface.note_flow(request.flow_id)
-        self.ifaces[next_hop].link.send_control(request)
+        relay_link.stats.control_packets += 1
+        self._call_after(relay_link.delay_s, relay_handler, request, relay_link)
+
+    def _resolve_request_route(self, request: Request):
+        next_hop = self.fib.get(request.sender)
+        relay_link = self.ifaces[next_hop].link if next_hop is not None else None
+        relay_handler = None
+        data_iface = None
+        if relay_link is not None:
+            handlers = relay_link.control_handlers
+            relay_handler = handlers.get(Request) if handlers is not None else None
+            if relay_handler is None:
+                # Standalone links (unit tests) fall back to the
+                # receiver's generic dispatch.
+                relay_handler = relay_link._deliver
+            if self._inrpp:
+                # The AIMD forwarder never reads anticipated rates or
+                # flow fair shares, so Eq. 1 bookkeeping is INRPP-only.
+                data_iface = self.ifaces.get(self.fib.get(request.receiver))
+        route = (relay_link, relay_handler, data_iface)
+        self._request_route[request.flow_id] = route
+        return route
 
     # ------------------------------------------------------------------
     # Data plane
     # ------------------------------------------------------------------
-    def _on_data(self, chunk: DataChunk, upstream: Node) -> None:
+    def _on_data(self, chunk: DataChunk, via_link: SimLink) -> None:
+        upstream = via_link.src
         chunk.hops += 1
-        if self.receiver_app is not None and self.receiver_app.owns(chunk.flow_id):
-            self.receiver_app.on_data(chunk)
+        app = self.receiver_app
+        if app is not None and chunk.flow_id in app.flows:
+            app.on_data(chunk)
             return
         if chunk.tunnel:
             next_hop, chunk.tunnel = chunk.tunnel[0], chunk.tunnel[1:]
@@ -142,8 +183,11 @@ class Router:
         """Apply the push / detour / back-pressure pipeline."""
         iface = self.ifaces[next_hop]
         chunk.prev_hop = self.node_id
-        if self.mode == "aimd":
-            if not iface.enqueue(chunk):
+        if not self._inrpp:
+            # Drop-tail forwarding; flow accounting (note_flow) feeds
+            # fair-share back-pressure rates, which the baseline never
+            # emits, so the link is driven directly.
+            if not iface.link.send(chunk):
                 self.drops += 1
                 self.trace.record(self.sim.now, self.node_id, "drop-tail")
             return
@@ -189,7 +233,7 @@ class Router:
         """Check gossiped backlog of the option's onward links."""
         for hop_from, hop_to in zip(option[1:], option[2:]):
             backlog = self.neighbor_backlog.get((hop_from, hop_to))
-            if backlog is not None and backlog >= self.config.high_watermark_bytes:
+            if backlog is not None and backlog >= self._high_wm_bytes:
                 return False
         return True
 
@@ -206,8 +250,8 @@ class Router:
             congested_link=(self.node_id, iface.neighbor),
             allowed_bps=iface.fair_share_bps(),
             origin=self.node_id,
+            sender=chunk.sender,
         )
-        signal.sender = chunk.sender
         self._send_backpressure(signal, upstream)
 
     def _send_backpressure(self, signal: Backpressure, upstream: Node) -> None:
@@ -223,9 +267,12 @@ class Router:
         self.trace.record(self.sim.now, self.node_id, "bp-sent")
         iface.link.send_control(signal)
 
-    def _on_backpressure(self, signal: Backpressure) -> None:
-        if self.sender_app is not None and self.sender_app.owns(signal.flow_id):
-            self.sender_app.on_backpressure(signal)
+    def _on_backpressure(
+        self, signal: Backpressure, via_link: Optional[SimLink] = None
+    ) -> None:
+        app = self.sender_app
+        if app is not None and signal.flow_id in app.flows:
+            app.on_backpressure(signal)
             return
         # Relay hop-by-hop toward the sender (reverse data path).
         sender = getattr(signal, "sender", None)
@@ -242,23 +289,21 @@ class Router:
     def start_gossip(self) -> None:
         if not self.config.gossip or self.mode != "inrpp":
             return
+        self.sim.call_after(self.config.ti, self._gossip_tick)
 
-        def _tick() -> None:
-            message = Gossip(
-                origin=self.node_id,
-                backlog_bytes={
-                    neighbor: iface.link.queue_bytes
-                    + iface.custody.used_bytes
-                    for neighbor, iface in self.ifaces.items()
-                },
-            )
-            for iface in self.ifaces.values():
-                iface.link.send_control(message)
-            self.sim.schedule(self.config.ti, _tick)
+    def _gossip_tick(self) -> None:
+        message = Gossip(
+            origin=self.node_id,
+            backlog_bytes={
+                neighbor: iface.link.queue_bytes + iface.custody.used_bytes
+                for neighbor, iface in self.ifaces.items()
+            },
+        )
+        for iface in self.ifaces.values():
+            iface.link.send_control(message)
+        self.sim.call_after(self.config.ti, self._gossip_tick)
 
-        self.sim.schedule(self.config.ti, _tick)
-
-    def _on_gossip(self, message: Gossip) -> None:
+    def _on_gossip(self, message: Gossip, via_link: Optional[SimLink] = None) -> None:
         for next_hop, backlog in message.backlog_bytes.items():
             self.neighbor_backlog[(message.origin, next_hop)] = backlog
 
@@ -266,8 +311,9 @@ class Router:
     # Drain hook: custody -> line, then wake the local sender.
     # ------------------------------------------------------------------
     def _on_iface_drain(self, iface: RouterInterface) -> None:
-        while iface.drain_custody() is not None:
-            self.trace.record(self.sim.now, self.node_id, "custody-drain")
+        if iface._custody_queue:
+            while iface.drain_custody() is not None:
+                self.trace.record(self.sim.now, self.node_id, "custody-drain")
         if self.sender_app is not None:
             self.sender_app.pump(iface)
 

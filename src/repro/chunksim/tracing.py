@@ -28,9 +28,14 @@ class Trace:
         self.keep_records = keep_records
         self.max_records = max_records
         self.records: List[TraceRecord] = []
+        #: First simulated time each event type was recorded (onset
+        #: detection: e.g. when did back-pressure/custody first appear).
+        self.first_seen: Dict[str, float] = {}
 
     def record(self, time: float, node: Any, event: str, **detail: Any) -> None:
         self.counters[event] += 1
+        if event not in self.first_seen:
+            self.first_seen[event] = time
         if self.keep_records and len(self.records) < self.max_records:
             self.records.append(TraceRecord(time, node, event, detail))
 

@@ -6,6 +6,7 @@ Usage::
     python -m repro fig3 [--duration S]  # fluid + chunk-level Fig. 3
     python -m repro fig4 [--snapshots N] # Fig. 4a bars + Fig. 4b CDF
     python -m repro export-isp telstra out.json
+    python -m repro validate [--scenarios NAMES] [--engine ENGINE]
     python -m repro campaign list
     python -m repro campaign run --scenarios table1,fig4 --grid seed=0,1,2
     python -m repro campaign report
@@ -29,6 +30,7 @@ from repro.campaign.scenario import iter_scenarios
 from repro.campaign.store import DEFAULT_RESULTS_DIR, ResultStore
 from repro.topology.io import save_topology
 from repro.topology.isp import ISP_NAMES, build_isp_topology
+from repro.validation import run_all_validations
 
 #: Per-command seed defaults, applied only when the user does not pass
 #: an explicit ``--seed`` (fig4's calibrated operating point is seed 42).
@@ -82,6 +84,20 @@ def _cmd_export_isp(args: argparse.Namespace) -> int:
     save_topology(topo, args.output)
     print(f"wrote {topo!r} to {args.output}")
     return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    names = _split_names(args.scenarios) or None
+    reports = run_all_validations(names=names, engine=args.engine)
+    for report in reports:
+        print(report.render())
+        print()
+    failed = [report for report in reports if not report.passed]
+    print(
+        f"cross-fidelity: {len(reports) - len(failed)}/{len(reports)} "
+        f"scenario(s) within tolerance"
+    )
+    return 1 if failed else 0
 
 
 def _cmd_campaign_list(args: argparse.Namespace) -> int:
@@ -186,6 +202,22 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("isp", choices=list(ISP_NAMES))
     export.add_argument("output", help="output JSON path")
 
+    validate = commands.add_parser(
+        "validate",
+        help="cross-fidelity validation: chunksim vs flowsim agreement",
+    )
+    validate.add_argument(
+        "--scenarios",
+        default=None,
+        help="comma-separated calibrated scenario names (default: all)",
+    )
+    validate.add_argument(
+        "--engine",
+        default="modern",
+        choices=("modern", "reference"),
+        help="chunk-level event engine to validate (default: modern)",
+    )
+
     campaign = commands.add_parser(
         "campaign", help="orchestrate scenario campaigns (sweeps, caching)"
     )
@@ -252,6 +284,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fig3": _cmd_fig3,
         "fig4": _cmd_fig4,
         "export-isp": _cmd_export_isp,
+        "validate": _cmd_validate,
     }
     campaign_handlers = {
         "list": _cmd_campaign_list,

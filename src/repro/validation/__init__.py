@@ -1,0 +1,56 @@
+"""Cross-fidelity validation: chunksim vs flowsim on one scenario.
+
+The repo keeps two models of the paper's system at different
+fidelities — the fluid flow-level allocators (:mod:`repro.flowsim`)
+and the packet/chunk-level protocol simulator (:mod:`repro.chunksim`).
+This package runs the *same* scenario (topology, flows, strategy)
+through both, maps chunk-level observables onto flow-level ones and
+emits a divergence report with per-metric tolerances.
+
+Entry points:
+
+- :func:`run_validation` — one scenario -> :class:`ValidationReport`;
+- :data:`CALIBRATED_SCENARIOS` — the calibrated Fig. 3 scenario set;
+- ``python -m repro validate`` — the CLI front-end;
+- the ``cross-fidelity`` campaign scenario.
+"""
+
+from repro.validation.harness import (
+    DEFAULT_TOLERANCES,
+    MetricCheck,
+    ValidationReport,
+    run_all_validations,
+    run_validation,
+)
+from repro.validation.observables import (
+    ChunkObservables,
+    FluidObservables,
+    predict_custody,
+    run_chunk_fidelity,
+    run_flow_fidelity,
+)
+from repro.validation.scenario import (
+    CALIBRATED_SCENARIOS,
+    STEADY_CHUNKS,
+    ValidationFlow,
+    ValidationScenario,
+    scenario_by_name,
+)
+
+__all__ = [
+    "CALIBRATED_SCENARIOS",
+    "ChunkObservables",
+    "DEFAULT_TOLERANCES",
+    "FluidObservables",
+    "MetricCheck",
+    "STEADY_CHUNKS",
+    "ValidationFlow",
+    "ValidationReport",
+    "ValidationScenario",
+    "predict_custody",
+    "run_all_validations",
+    "run_chunk_fidelity",
+    "run_flow_fidelity",
+    "run_validation",
+    "scenario_by_name",
+]

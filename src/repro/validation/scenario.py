@@ -1,0 +1,190 @@
+"""Validation scenario definitions.
+
+A :class:`ValidationScenario` is a fidelity-neutral description of an
+experiment: a topology, a set of flows and a sharing mode, expressed
+in terms both simulators understand.  The mode uses the *flow-level*
+strategy names (``"inrp"``, ``"sp"``); the chunk-level simulator runs
+the corresponding protocol (``"inrpp"``, ``"aimd"``).
+
+The calibrated set below lives on the Fig. 3 topology because it is
+the one scenario where the paper itself publishes the expected
+numbers, which pins *both* fidelities to an external reference:
+
+- ``fig3-steady-inrp`` / ``fig3-steady-sp`` — the paper's two-flow
+  worked example run to steady state.  INRPP detours around the
+  2 Mbps bottleneck without custody (the deficit is absorbed by
+  receiver-driven pacing at the *source*), so this scenario checks
+  rates, fairness and path stretch with custody expected absent.
+- ``fig3-custody-inrp`` — three flows from node 1 so that flow
+  1->4's detour (via node 3) collides with flow 1->3's primary path
+  on the 3 Mbps link.  Chunks already committed to the detour must be
+  held in custody when the collision saturates the link, which makes
+  this the scenario that exercises custody occupancy and
+  back-pressure onset *while* the fluid model still predicts the
+  rate region.
+- ``fig3-completion-inrp`` / ``fig3-completion-sp`` — finite
+  100-chunk transfers with staggered starts, checking per-flow
+  completion time against the fluid progressive-filling simulator.
+
+All scenarios are deterministic (no seed axis): the Fig. 3 topology
+has no random component in either simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.topology.builders import fig3_topology
+from repro.topology.graph import Node, Topology
+
+#: Chunk count used for "steady state" flows: large enough that no
+#: flow completes within any calibrated duration.
+STEADY_CHUNKS = 10_000_000
+
+#: Flow-level strategy name -> chunk-level protocol mode.
+MODE_MAP = {"inrp": "inrpp", "sp": "aimd"}
+
+
+@dataclass(frozen=True)
+class ValidationFlow:
+    """One transfer, in fidelity-neutral terms."""
+
+    source: Node
+    destination: Node
+    start_time: float = 0.0
+
+
+@dataclass(frozen=True)
+class ValidationScenario:
+    """A scenario both simulators can run.
+
+    ``num_chunks=None`` means steady state (flows outlast the run and
+    are compared on goodput); an integer makes it a completion
+    scenario (flows finish and are compared on completion time).
+    ``tolerances`` overrides entries of
+    :data:`repro.validation.harness.DEFAULT_TOLERANCES` per scenario.
+    """
+
+    name: str
+    mode: str
+    flows: Tuple[ValidationFlow, ...]
+    duration: float = 20.0
+    warmup: Optional[float] = None
+    num_chunks: Optional[int] = None
+    summary: str = ""
+    topology_factory: Callable[[], Topology] = fig3_topology
+    tolerances: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODE_MAP:
+            raise ConfigurationError(
+                f"unknown validation mode {self.mode!r}; "
+                f"expected one of {', '.join(sorted(MODE_MAP))}"
+            )
+        if not self.flows:
+            raise ConfigurationError(f"scenario {self.name!r} has no flows")
+
+    @property
+    def chunk_mode(self) -> str:
+        """The chunk-level protocol mode for this scenario."""
+        return MODE_MAP[self.mode]
+
+    @property
+    def kind(self) -> str:
+        return "steady" if self.num_chunks is None else "completion"
+
+    @property
+    def chunks_per_flow(self) -> int:
+        return STEADY_CHUNKS if self.num_chunks is None else self.num_chunks
+
+    @property
+    def effective_warmup(self) -> float:
+        if self.warmup is not None:
+            return self.warmup
+        return 0.25 * self.duration
+
+    @property
+    def last_start(self) -> float:
+        return max(flow.start_time for flow in self.flows)
+
+    def topology(self) -> Topology:
+        return self.topology_factory()
+
+
+_PAPER_FLOWS = (
+    ValidationFlow(source=1, destination=4),
+    ValidationFlow(source=1, destination=5),
+)
+
+#: Three flows from node 1: 1->4 (detours via 3), 1->5 (clear) and
+#: 1->3 (primary over the 3 Mbps link the detour needs).  The detour /
+#: primary collision on link (2, 3) is what forces transit custody.
+_CUSTODY_FLOWS = (
+    ValidationFlow(source=1, destination=4, start_time=0.0),
+    ValidationFlow(source=1, destination=5, start_time=0.01),
+    ValidationFlow(source=1, destination=3, start_time=0.02),
+)
+
+CALIBRATED_SCENARIOS: Tuple[ValidationScenario, ...] = (
+    ValidationScenario(
+        name="fig3-steady-inrp",
+        mode="inrp",
+        flows=_PAPER_FLOWS,
+        duration=20.0,
+        warmup=5.0,
+        summary="Paper's two-flow Fig. 3 example, INRPP vs fluid INRP",
+    ),
+    ValidationScenario(
+        name="fig3-steady-sp",
+        mode="sp",
+        flows=_PAPER_FLOWS,
+        duration=20.0,
+        warmup=5.0,
+        summary="Paper's two-flow Fig. 3 example, AIMD vs fluid max-min",
+    ),
+    ValidationScenario(
+        name="fig3-custody-inrp",
+        mode="inrp",
+        flows=_CUSTODY_FLOWS,
+        duration=20.0,
+        warmup=5.0,
+        summary="Detour/primary collision: custody occupancy and onset",
+    ),
+    ValidationScenario(
+        name="fig3-completion-inrp",
+        mode="inrp",
+        flows=(
+            ValidationFlow(source=1, destination=4, start_time=0.0),
+            ValidationFlow(source=1, destination=5, start_time=0.25),
+        ),
+        duration=30.0,
+        warmup=0.0,
+        num_chunks=100,
+        summary="Finite 100-chunk transfers: completion time, INRPP",
+    ),
+    ValidationScenario(
+        name="fig3-completion-sp",
+        mode="sp",
+        flows=(
+            ValidationFlow(source=1, destination=4, start_time=0.0),
+            ValidationFlow(source=1, destination=5, start_time=0.25),
+        ),
+        duration=30.0,
+        warmup=0.0,
+        num_chunks=100,
+        summary="Finite 100-chunk transfers: completion time, AIMD",
+    ),
+)
+
+
+def scenario_by_name(name: str) -> ValidationScenario:
+    """Look up a calibrated scenario (raises on unknown names)."""
+    for scenario in CALIBRATED_SCENARIOS:
+        if scenario.name == name:
+            return scenario
+    known = ", ".join(s.name for s in CALIBRATED_SCENARIOS)
+    raise ConfigurationError(
+        f"unknown validation scenario {name!r}; expected one of {known}"
+    )

@@ -1,6 +1,7 @@
 """Result store: run keys, schema versioning, record round-trips."""
 
 import json
+import warnings
 
 import pytest
 
@@ -72,3 +73,65 @@ def test_records_written_deterministically(tmp_path):
     path_one = first.save("demo", {"seed": 5}, payload)
     path_two = second.save("demo", {"seed": 5}, payload)
     assert path_one.read_bytes() == path_two.read_bytes()
+
+
+def test_iter_records_warns_and_skips_corrupt_files(tmp_path):
+    # A partially-written (truncated) record must not crash `campaign
+    # report`: the damaged file is skipped with a warning naming it,
+    # and every healthy record still comes through.
+    store = ResultStore(tmp_path)
+    store.save("demo", {"seed": 0}, {"value": 1})
+    truncated = store.save("demo", {"seed": 1}, {"value": 2})
+    truncated.write_text(truncated.read_text()[:20])
+    with pytest.warns(RuntimeWarning, match=truncated.name):
+        records = list(store.iter_records())
+    assert [r["params"]["seed"] for r in records] == [0]
+
+
+def test_iter_records_warns_on_non_object_json(tmp_path):
+    # Valid JSON that is not a record object (e.g. a file truncated to
+    # `null`) used to crash on `.get`; now it is skipped with a warning.
+    store = ResultStore(tmp_path)
+    store.save("demo", {"seed": 0}, {"value": 1})
+    rogue = tmp_path / "demo" / "rogue.json"
+    rogue.write_text("null\n")
+    with pytest.warns(RuntimeWarning, match="rogue.json"):
+        records = list(store.iter_records("demo"))
+    assert len(records) == 1
+    assert store.load("demo", {"seed": 0})["result"] == {"value": 1}
+
+
+def test_load_treats_non_object_json_as_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    params = {"seed": 0}
+    path = store.save("demo", params, {"value": 1})
+    path.write_text("[1, 2, 3]\n")
+    assert store.load("demo", params) is None
+
+
+def test_schema_mismatch_skipped_silently_not_warned(tmp_path):
+    # A stale schema version is a cache miss, not damage: no warning.
+    store = ResultStore(tmp_path)
+    path = store.save("demo", {"seed": 0}, {"value": 1})
+    record = json.loads(path.read_text())
+    record["schema_version"] = SCHEMA_VERSION + 1
+    path.write_text(json.dumps(record))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert list(store.iter_records()) == []
+
+
+def test_campaign_report_survives_corrupt_store(tmp_path, capsys):
+    # End to end: the CLI report over a store with one damaged file
+    # still renders the healthy records and exits zero.
+    from repro.cli import main
+
+    store = ResultStore(tmp_path)
+    store.save("demo", {"seed": 0}, {"value": 1})
+    broken = store.save("demo", {"seed": 1}, {"value": 2})
+    broken.write_text('{"schema_version": 1, "trunc')
+    with pytest.warns(RuntimeWarning):
+        code = main(["campaign", "report", "--results-dir", str(tmp_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "1 stored record(s)" in out

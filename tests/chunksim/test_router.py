@@ -50,7 +50,8 @@ def test_unroutable_data_counts_as_drop():
     net = ChunkNetwork(topo, mode="inrpp")
     trace = net.trace
     chunk = DataChunk(flow_id=5, chunk_id=0, size_bytes=100, receiver="ghost")
-    net.routers[0]._on_data(chunk, upstream=1)
+    via = net.routers[1].ifaces[0].link  # the 1 -> 0 direction
+    net.routers[0].receive(chunk, via)
     assert net.routers[0].drops == 1
     assert trace.count("data-unroutable") == 1
 
