@@ -40,6 +40,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -101,6 +102,32 @@ POINTS = {
         cores=("reference", "incremental", "vectorized", "auto"),
     ),
 }
+
+
+#: The streaming-pipeline memory benchmark: the ``load-sweep-xl``
+#: operating point (sprint, SP, rho < 1 so the active set stays small
+#: and a million arrivals drain in minutes).  Each measurement runs in
+#: a fresh subprocess and reports its RSS growth (VmHWM peak minus the
+#: post-import baseline), so sinks are compared on identical terms and
+#: without tracemalloc's order-of-magnitude slowdown.  The full mode
+#: pits a 1M-flow streaming run against a 100k-flow materialized run:
+#: the streaming run must stay under the fixed ceiling AND under the
+#: materialized run's footprint at a tenth of the scale.
+MEMORY_POINT = dict(
+    isp="sprint",
+    strategy="sp",
+    arrival_rate=1500.0,
+    mean_size_mbit=0.25,
+    demand_mbps=10.0,
+    max_hops=4,
+    seed=1,
+    flows=dict(
+        full=dict(streaming=1_000_000, materialize=100_000),
+        smoke=dict(streaming=60_000, materialize=60_000),
+    ),
+    #: Peak-RSS-growth ceiling for the streaming run, in MB.
+    ceiling_mb=dict(full=192, smoke=96),
+)
 
 
 def build_specs(point, num_flows):
@@ -259,6 +286,134 @@ def run_point(name, point, num_flows, verify_flows, adaptive=None):
     }
 
 
+def _rss_kb(field):
+    """Read a VmRSS/VmHWM field (kB) from /proc/self/status; 0 when
+    the platform has no procfs (the memory bench then reports only
+    what it can)."""
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith(field):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return 0
+
+
+def memory_child(spec):
+    """Run one sink measurement and print a JSON line (internal;
+    invoked as ``--memory-child sink:num_flows`` in a fresh process)."""
+    sink, _, num_flows = spec.partition(":")
+    num_flows = int(num_flows)
+    point = MEMORY_POINT
+    topo = build_isp_topology(point["isp"], seed=0)
+    workload = FlowWorkload(
+        topo,
+        arrival_rate=point["arrival_rate"],
+        mean_size_bits=point["mean_size_mbit"] * 1e6,
+        demand_bps=mbps(point["demand_mbps"]),
+        seed=point["seed"],
+        pair_sampler=local_pairs(
+            topo, seed=point["seed"] + 1, max_hops=point["max_hops"]
+        ),
+    )
+    baseline_kb = _rss_kb("VmRSS")
+    start = time.perf_counter()
+    if sink == "streaming":
+        specs = workload.iter_specs(max_flows=num_flows)
+    else:
+        # The materialized schedule is part of that pipeline's
+        # footprint, so it is generated inside the measured window.
+        specs = workload.generate(max_flows=num_flows)
+    result = FlowLevelSimulator(
+        topo, make_strategy(point["strategy"], topo), specs, sink=sink
+    ).run()
+    seconds = time.perf_counter() - start
+    peak_kb = _rss_kb("VmHWM")
+    print(
+        json.dumps(
+            {
+                "sink": sink,
+                "num_flows": num_flows,
+                "baseline_rss_kb": baseline_kb,
+                "peak_rss_kb": peak_kb,
+                "rss_growth_mb": round((peak_kb - baseline_kb) / 1024.0, 1),
+                "seconds": round(seconds, 1),
+                "completed": result.completed_count,
+                "unfinished": result.unfinished,
+                "network_throughput": result.network_throughput,
+                "p99_fct": result.fct_quantile(0.99),
+            }
+        )
+    )
+    return 0
+
+
+def run_memory(smoke):
+    """Measure both sinks in fresh subprocesses and assert the
+    streaming pipeline's bounded-memory contract."""
+    mode = "smoke" if smoke else "full"
+    sizes = MEMORY_POINT["flows"][mode]
+    ceiling_mb = MEMORY_POINT["ceiling_mb"][mode]
+    runs = {}
+    for sink in ("streaming", "materialize"):
+        num_flows = sizes[sink]
+        print(
+            f"[memory] {sink} sink, {num_flows} flows "
+            f"({MEMORY_POINT['isp']}, {MEMORY_POINT['strategy']}) ...",
+            flush=True,
+        )
+        child = subprocess.run(
+            [sys.executable, __file__, "--memory-child", f"{sink}:{num_flows}"],
+            capture_output=True,
+            text=True,
+        )
+        if child.returncode != 0:
+            raise RuntimeError(
+                f"memory child ({sink}) failed:\n{child.stderr}"
+            )
+        runs[sink] = json.loads(child.stdout.strip().splitlines()[-1])
+        measured = runs[sink]
+        print(
+            f"  peak RSS growth {measured['rss_growth_mb']:.1f} MB "
+            f"in {measured['seconds']:.1f}s "
+            f"({measured['completed']} completed)",
+            flush=True,
+        )
+    streaming, materialized = runs["streaming"], runs["materialize"]
+    scale = streaming["num_flows"] / materialized["num_flows"]
+    checks = {
+        # The headline contract: N-flow streaming peak under a fixed
+        # ceiling, and no larger than materializing 1/scale as many.
+        "streaming_under_ceiling": streaming["rss_growth_mb"] <= ceiling_mb,
+        "streaming_below_materialized": (
+            streaming["rss_growth_mb"] <= materialized["rss_growth_mb"] * 1.10
+        ),
+    }
+    record = {
+        "point": {
+            key: MEMORY_POINT[key]
+            for key in (
+                "isp",
+                "strategy",
+                "arrival_rate",
+                "mean_size_mbit",
+                "demand_mbps",
+                "max_hops",
+                "seed",
+            )
+        },
+        "ceiling_mb": ceiling_mb,
+        "scale_ratio": scale,
+        "streaming": streaming,
+        "materialize": materialized,
+        "checks": checks,
+    }
+    for name, passed in checks.items():
+        print(f"  {name}: {'ok' if passed else 'FAIL'}", flush=True)
+    return record
+
+
 def check_against(record, committed_path):
     """Diff the fresh record against the committed trajectory file.
 
@@ -277,8 +432,30 @@ def check_against(record, committed_path):
     if section is None:
         return [f"committed file has no '{record['mode']}' section"]
     failures = []
-    for name, fresh in record["points"].items():
-        baseline = section["points"].get(name)
+    if "memory" in record:
+        baseline_memory = section.get("memory")
+        if baseline_memory is None:
+            failures.append(
+                f"committed '{record['mode']}' section has no memory record"
+            )
+        else:
+            fresh_memory = record["memory"]
+            for sink in ("streaming", "materialize"):
+                for field in ("num_flows", "completed", "unfinished"):
+                    old = baseline_memory[sink][field]
+                    new = fresh_memory[sink][field]
+                    if old != new:
+                        failures.append(
+                            f"memory/{sink}: {field} changed {old} -> {new}"
+                        )
+            # RSS itself is machine-dependent; the binding constraints
+            # are the fixed ceiling and the cross-sink comparison,
+            # asserted as checks on the fresh run.
+            for name, passed in fresh_memory["checks"].items():
+                if not passed:
+                    failures.append(f"memory: check '{name}' failed")
+    for name, fresh in record.get("points", {}).items():
+        baseline = section.get("points", {}).get(name)
         if baseline is None:
             failures.append(f"{name}: missing from committed record")
             continue
@@ -354,6 +531,14 @@ def main(argv=None):
         default=None,
         help="fail if auto exceeds this multiple of the better core at overload",
     )
+    parser.add_argument(
+        "--memory",
+        action="store_true",
+        help="run the streaming-pipeline memory benchmark (subprocess "
+        "peak-RSS measurement per sink); core points are skipped unless "
+        "--points names them explicitly",
+    )
+    parser.add_argument("--memory-child", default=None, help=argparse.SUPPRESS)
     parser.add_argument("--out", default=None, help="write the JSON record here")
     parser.add_argument(
         "--merge-into",
@@ -369,7 +554,15 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
 
-    names = list(POINTS) if args.points is None else args.points.split(",")
+    if args.memory_child:
+        return memory_child(args.memory_child)
+
+    if args.points is not None:
+        names = args.points.split(",")
+    elif args.memory:
+        names = []  # memory-only invocation
+    else:
+        names = list(POINTS)
     unknown = [name for name in names if name not in POINTS]
     if unknown:
         print(f"unknown point(s): {', '.join(unknown)}", file=sys.stderr)
@@ -401,6 +594,8 @@ def main(argv=None):
         record["points"][name] = run_point(
             name, point, num_flows, verify_flows, adaptive=adaptive
         )
+    if args.memory:
+        record["memory"] = run_memory(args.smoke)
 
     if args.out:
         Path(args.out).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
@@ -412,7 +607,11 @@ def main(argv=None):
             if trajectory_path.exists()
             else {"bench": record["bench"]}
         )
-        trajectory[record["mode"]] = {"points": record["points"]}
+        section = trajectory.setdefault(record["mode"], {})
+        if record["points"]:
+            section["points"] = record["points"]
+        if "memory" in record:
+            section["memory"] = record["memory"]
         trajectory_path.write_text(
             json.dumps(trajectory, indent=2, sort_keys=True) + "\n"
         )
@@ -431,6 +630,11 @@ def main(argv=None):
                 file=sys.stderr,
             )
             status = 1
+    if "memory" in record:
+        for name, passed in record["memory"]["checks"].items():
+            if not passed:
+                print(f"FAIL: memory check '{name}'", file=sys.stderr)
+                status = 1
     if args.min_inrp_speedup is not None:
         inrp = record["points"].get("inrp-calibrated")
         if inrp and inrp["speedup"] < args.min_inrp_speedup:

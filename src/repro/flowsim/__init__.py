@@ -16,7 +16,12 @@ provides:
   the simulator's ``core="vectorized"``);
 - :mod:`~repro.flowsim.strategies` — SP / ECMP / INRP strategy objects;
 - :mod:`~repro.flowsim.simulator` — an event-driven simulator with
-  per-event rate recomputation (arrivals, departures, completion);
+  per-event rate recomputation (arrivals, departures, completion),
+  streaming spec intake and pause/resume checkpointing;
+- :mod:`~repro.flowsim.sinks` — the pluggable result layer: the
+  materializing sink (full per-flow records) and the streaming sink
+  (O(1) online aggregates + quantile sketches) both assemble the same
+  :class:`~repro.flowsim.sinks.SimulationResult`;
 - :mod:`~repro.flowsim.snapshots` — steady-state snapshot evaluation
   used by the Fig. 4 benches.
 """
@@ -42,7 +47,14 @@ from repro.flowsim.strategies import (
     ShortestPathStrategy,
     make_strategy,
 )
-from repro.flowsim.simulator import FlowLevelSimulator, SimulationResult
+from repro.flowsim.sinks import (
+    FlowAggregates,
+    MaterializingSink,
+    ResultSink,
+    SimulationResult,
+    StreamingSink,
+)
+from repro.flowsim.simulator import FlowLevelSimulator, SimulatorCheckpoint
 from repro.flowsim.snapshots import SnapshotResult, snapshot_experiment
 
 __all__ = [
@@ -65,6 +77,11 @@ __all__ = [
     "make_strategy",
     "FlowLevelSimulator",
     "SimulationResult",
+    "SimulatorCheckpoint",
+    "ResultSink",
+    "MaterializingSink",
+    "StreamingSink",
+    "FlowAggregates",
     "snapshot_experiment",
     "SnapshotResult",
 ]

@@ -10,9 +10,14 @@ from repro.metrics.stats import Cdf
 
 
 def completion_ratio(records: Sequence[FlowRecord]) -> float:
-    """Fraction of flows that finished their transfer."""
+    """Fraction of flows that finished their transfer.
+
+    An empty shard (a zero-flow slice of a sharded campaign) completes
+    vacuously nothing: the ratio is 0.0, not an error, so aggregation
+    over shards never trips on a quiet one.
+    """
     if not records:
-        raise AnalysisError("no records")
+        return 0.0
     return sum(1 for record in records if record.completed) / len(records)
 
 
@@ -38,7 +43,15 @@ def stretch_cdf(records: Sequence[FlowRecord]) -> Cdf:
 
 
 def goodput_bps(records: Sequence[FlowRecord], duration: float) -> float:
-    """Aggregate delivered bits over *duration* seconds."""
-    if duration <= 0:
-        raise AnalysisError(f"duration must be positive, got {duration}")
+    """Aggregate delivered bits over *duration* seconds.
+
+    A zero-duration run delivered nothing in no time; report 0.0
+    goodput rather than raising, matching :func:`completion_ratio`'s
+    graceful handling of degenerate shards.  Negative durations are
+    still a caller bug and raise.
+    """
+    if duration < 0:
+        raise AnalysisError(f"duration must be non-negative, got {duration}")
+    if duration == 0:
+        return 0.0
     return sum(record.delivered_bits for record in records) / duration

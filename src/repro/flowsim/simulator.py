@@ -23,75 +23,157 @@ Two cores implement the loop:
   kept as the semantic baseline: equivalence tests assert both cores
   produce the same :class:`SimulationResult` (within float tolerance)
   and ``benchmarks/bench_flowsim.py`` measures the speedup against it.
+
+Both cores follow the **streaming contract**: flow specs are pulled
+one at a time from any arrival-ordered iterator (a materialized list
+works too and is sorted defensively), and every finalized flow goes to
+a pluggable :class:`~repro.flowsim.sinks.ResultSink` instead of an
+append-only record list.  With
+:class:`~repro.flowsim.sinks.StreamingSink` plus
+:meth:`repro.workloads.traffic.FlowWorkload.iter_specs` the resident
+state is just the active flows and O(1) aggregates — million-flow runs
+complete in bounded memory.  The event core additionally supports
+pausing into a picklable :class:`SimulatorCheckpoint` and resuming
+later (``run(pause_at=...)`` / ``run(resume_from=...)``).
 """
 
 from __future__ import annotations
 
+import copy
 import heapq
 import math
+import pickle
+from collections.abc import Sequence as _SequenceABC
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.flowsim.flow import ActiveFlow, FlowRecord, stretch_of
+from repro.flowsim.sinks import (
+    FlowAggregates,
+    MaterializingSink,
+    ResultSink,
+    SimulationResult,
+    StreamingSink,
+    make_sink,
+)
 from repro.flowsim.strategies import RoutingStrategy
 from repro.metrics.timeseries import TimeWeightedMean
 from repro.routing.paths import cached_path_links
 from repro.topology.graph import Topology
 from repro.workloads.traffic import FlowSpec
 
+__all__ = [
+    "FlowLevelSimulator",
+    "SimulationResult",
+    "SimulatorCheckpoint",
+]
+
 _EPS = 1e-9
 
 _CORES = ("auto", "incremental", "vectorized", "reference")
 
 
-@dataclass
-class SimulationResult:
-    """Aggregate outcome of one flow-level simulation run."""
+class _SpecSource:
+    """Pull-based arrival stream with one-spec lookahead.
 
-    records: List[FlowRecord]
-    #: Time-weighted mean of (aggregate delivered rate / offered demand).
-    network_throughput: float
-    #: Time-weighted aggregate delivered rate in bits/s.
-    mean_delivered_bps: float
-    #: Time-weighted aggregate offered demand in bits/s.
-    mean_offered_bps: float
-    duration: float
-    allocations: int
-    unfinished: int = 0
-    total_switches: int = 0
-    #: Recomputes the adaptive ``core="auto"`` ran as full refills.
-    full_refills: int = 0
-    #: Worst incremental-vs-scratch rate deviation observed when
-    #: ``verify_allocator=True`` (None when verification did not run).
-    max_verify_deviation: Optional[float] = None
+    Wraps any iterator of :class:`FlowSpec` in arrival order; the loop
+    peeks :attr:`next_arrival` and :meth:`pop`\\ s specs as the clock
+    reaches them, so only one unarrived spec is resident at a time.
+    Ordering is validated as specs stream through (an out-of-order
+    spec raises instead of silently corrupting the event clock), and
+    :attr:`consumed` counts the pops — the checkpoint cursor a resumed
+    run fast-forwards a fresh iterator by.
+    """
+
+    __slots__ = ("_iterator", "_head", "consumed")
+
+    def __init__(self, specs: Iterable[FlowSpec], skip: int = 0):
+        self._iterator = iter(specs)
+        for _ in range(skip):
+            if next(self._iterator, None) is None:
+                raise SimulationError(
+                    f"spec stream ended while fast-forwarding {skip} "
+                    "checkpointed arrivals; resume needs the same workload"
+                )
+        self.consumed = skip
+        self._head: Optional[FlowSpec] = next(self._iterator, None)
 
     @property
-    def completed_records(self) -> List[FlowRecord]:
-        return [record for record in self.records if record.completed]
+    def exhausted(self) -> bool:
+        return self._head is None
 
-    def mean_fct(self) -> Optional[float]:
-        """Mean flow completion time over completed flows."""
-        fcts = [record.fct for record in self.records if record.completed]
-        if not fcts:
-            return None
-        return sum(fcts) / len(fcts)
+    @property
+    def next_arrival(self) -> float:
+        if self._head is None:
+            return math.inf
+        return self._head.arrival_time
 
-    def stretch_samples(self, include_unfinished: bool = False) -> List[float]:
-        """Per-flow bit-weighted stretch values (completed flows).
+    def pop(self) -> FlowSpec:
+        spec = self._head
+        if spec is None:
+            raise SimulationError("popped an exhausted spec stream")
+        self.consumed += 1
+        head = next(self._iterator, None)
+        if head is not None and head.arrival_time < spec.arrival_time - _EPS:
+            raise SimulationError(
+                "flow specs must stream in arrival order: "
+                f"flow {head.flow_id} at t={head.arrival_time} after "
+                f"flow {spec.flow_id} at t={spec.arrival_time}"
+            )
+        self._head = head
+        return spec
 
-        A flow truncated by the horizon has a stretch computed over a
-        partial delivery, so unfinished flows are excluded from the
-        Fig. 4b distribution by default; pass
-        ``include_unfinished=True`` to also sample unfinished flows
-        that delivered at least one bit.
-        """
-        return [
-            record.stretch
-            for record in self.records
-            if record.completed
-            or (include_unfinished and record.delivered_bits > 0)
-        ]
+
+@dataclass
+class SimulatorCheckpoint:
+    """Paused state of an event-core run, resumable later.
+
+    Captures everything the loop needs to continue except the spec
+    stream itself: arrivals are deterministic given the workload seed,
+    so the checkpoint stores only the cursor (``specs_consumed``) and
+    a resumed run fast-forwards a fresh iterator by that many specs.
+    Active flows carry their delivery state (remaining bits, per-hop
+    bit accounting, current rate and splits); allocator state is *not*
+    stored — fluid allocations are memoryless functions of the active
+    set, so the resumed run re-registers the actives (in arrival
+    order, preserving INRP's order-dependent detour semantics) and the
+    first recompute reproduces the paused rates.
+
+    The whole object is picklable (:meth:`save` / :meth:`load`), so a
+    long horizon can pause, leave the process, and resume elsewhere.
+    """
+
+    time: float
+    specs_consumed: int
+    #: Still-active flows in arrival order, synced to :attr:`time`.
+    active_flows: List[ActiveFlow]
+    delivered_meter: TimeWeightedMean
+    offered_meter: TimeWeightedMean
+    #: The run's result sink, carried so a resumed run keeps folding
+    #: into the same record list / aggregates.
+    sink: ResultSink
+    allocations: int
+    total_switches: int
+    full_refills: int
+    core: str
+    strategy_name: str
+
+    def save(self, path) -> None:
+        """Pickle the checkpoint to *path*."""
+        with open(path, "wb") as handle:
+            pickle.dump(self, handle)
+
+    @staticmethod
+    def load(path) -> "SimulatorCheckpoint":
+        """Unpickle a checkpoint written by :meth:`save`."""
+        with open(path, "rb") as handle:
+            checkpoint = pickle.load(handle)
+        if not isinstance(checkpoint, SimulatorCheckpoint):
+            raise SimulationError(
+                f"{path} does not contain a SimulatorCheckpoint"
+            )
+        return checkpoint
 
 
 class _FullRecompute:
@@ -154,19 +236,22 @@ class _IncrementalRecompute:
 class _AdaptiveCorePolicy:
     """Decides when ``core="auto"`` falls back to full refills.
 
-    Dirty-component search pays off only while components are small
-    relative to the active set.  In deep overload the population
-    snowballs into one spanning component: every recompute touches
-    everything and the component BFS plus subset copies are pure
-    overhead (measured ~0.8x of the reference loop).  The policy
-    watches the fraction of active flows each incremental recompute
-    returned; after ``patience`` consecutive recomputes above
-    ``threshold`` (with at least ``min_active`` flows active, so tiny
-    populations never flap) it switches to full refills, then probes
-    the dirty-component size by BFS alone (no fill, so probing costs a
-    component search, not a wasted spanning re-fill) every
-    ``probe_every``-th event to notice when components have shrunk
-    again.
+    ``core="auto"`` always runs the vectorized CSR kernel (it is the
+    fastest core at every calibrated bench point — 5.95x over the
+    scalar incremental core at the SP point and outright fastest at
+    the INRP overload point); what remains adaptive is *how much* each
+    recompute refills.  Dirty-component search pays off only while
+    components are small relative to the active set.  In deep overload
+    the population snowballs into one spanning component: every
+    recompute touches everything and the component search plus subset
+    copies are pure overhead.  The policy watches the fraction of
+    active flows each incremental recompute returned; after
+    ``patience`` consecutive recomputes above ``threshold`` (with at
+    least ``min_active`` flows active, so tiny populations never flap)
+    it switches to full refills, then probes the dirty-component size
+    (no fill, so probing costs a component search, not a wasted
+    spanning re-fill) every ``probe_every``-th event to notice when
+    components have shrunk again.
     """
 
     def __init__(
@@ -223,21 +308,34 @@ class FlowLevelSimulator:
 
     Parameters
     ----------
+    specs:
+        Either a materialized sequence (sorted defensively by arrival
+        time) or any iterator yielding specs in arrival order — e.g.
+        :meth:`repro.workloads.traffic.FlowWorkload.iter_specs` — which
+        is consumed lazily, one lookahead spec at a time.  An iterator
+        is single-use: rerunning or resuming requires a fresh one.
     horizon:
         Hard stop (seconds).  Flows completing exactly at the horizon
         instant count as completed; flows still active are reported as
         unfinished with their partial delivery.
     core:
         ``"incremental"`` (departure heap + dirty-component
-        allocation), ``"vectorized"`` (the same machinery with the
-        progressive-filling rounds run by the CSR kernel of
-        :mod:`repro.flowsim.kernel`), ``"reference"`` (the original
-        full-rescan loop) or ``"auto"`` (the default: the incremental
-        machinery plus an adaptive fallback to full refills while the
-        dirty component keeps spanning the active set — the
-        deep-overload regime where pure dirty-component search is
-        slower than refilling).  All cores produce the same
+        allocation, scalar solvers), ``"vectorized"`` (the same
+        machinery with the progressive-filling rounds run by the CSR
+        kernel of :mod:`repro.flowsim.kernel`), ``"reference"`` (the
+        original full-rescan loop) or ``"auto"`` (the default: the
+        vectorized kernel — fastest at every calibrated bench point —
+        plus an adaptive fallback to full refills while the dirty
+        component keeps spanning the active set, the deep-overload
+        regime where pure dirty-component search is slower than
+        refilling).  All cores produce the same
         :class:`SimulationResult` up to float tolerance.
+    sink:
+        Where finalized flows go: ``"materialize"`` (default; the
+        historical per-flow record list), ``"streaming"``
+        (:class:`~repro.flowsim.sinks.StreamingSink` — O(1) online
+        aggregates, ``result.records is None``) or a
+        :class:`~repro.flowsim.sinks.ResultSink` instance (single-use).
     verify_allocator:
         When the strategy supports incremental allocation, re-check
         every incremental recompute against from-scratch
@@ -253,15 +351,26 @@ class FlowLevelSimulator:
         every ``adaptive_probe_every``-th event while in full mode.
         Defaults match the previously hard-coded values; the bench
         harness sweeps them.
+
+    Checkpointing
+    -------------
+    ``run(pause_at=t)`` stops the event cores at instant ``t`` (events
+    at exactly ``t`` are left for the resumed run) and returns a
+    picklable :class:`SimulatorCheckpoint` instead of a result;
+    ``run(resume_from=checkpoint)`` continues — on the same simulator
+    (which still holds the partially-consumed stream) or on a freshly
+    constructed one, whose spec iterator is fast-forwarded by the
+    checkpoint cursor.  The reference core does not checkpoint.
     """
 
     def __init__(
         self,
         topology: Topology,
         strategy: RoutingStrategy,
-        specs: Sequence[FlowSpec],
+        specs: Union[Iterable[FlowSpec], "Sequence[FlowSpec]"],
         horizon: Optional[float] = None,
         core: str = "auto",
+        sink: Union[str, ResultSink, None] = None,
         verify_allocator: bool = False,
         adaptive_threshold: float = 0.5,
         adaptive_patience: int = 3,
@@ -284,39 +393,135 @@ class FlowLevelSimulator:
             )
         self.topology = topology
         self.strategy = strategy
-        self.specs = sorted(specs, key=lambda spec: (spec.arrival_time, spec.flow_id))
+        if isinstance(specs, _SequenceABC):
+            #: Materialized schedule (None when streaming from an iterator).
+            self.specs: Optional[List[FlowSpec]] = sorted(
+                specs, key=lambda spec: (spec.arrival_time, spec.flow_id)
+            )
+            self._spec_input: Optional[Iterable[FlowSpec]] = None
+        else:
+            self.specs = None
+            self._spec_input = specs
+        self._stream_started = False
+        self._paused_source: Optional[_SpecSource] = None
         self.horizon = horizon
         self.core = core
+        self.sink = sink
         self.verify_allocator = verify_allocator
         self.adaptive_threshold = adaptive_threshold
         self.adaptive_patience = adaptive_patience
         self.adaptive_probe_every = adaptive_probe_every
         self.adaptive_min_active = adaptive_min_active
+        #: Allocation kernel selected by the last ``run``/adapter build
+        #: ("scalar"/"vectorized"; None for full-recompute strategies).
+        self.kernel_used: Optional[str] = None
 
-    def run(self) -> SimulationResult:
+    def run(
+        self,
+        pause_at: Optional[float] = None,
+        resume_from: Optional[SimulatorCheckpoint] = None,
+    ) -> Union[SimulationResult, SimulatorCheckpoint]:
+        """Run to completion (a :class:`SimulationResult`) or pause.
+
+        With ``pause_at`` the event cores stop at that instant and
+        return a :class:`SimulatorCheckpoint` — unless the run ends
+        naturally first, in which case the result is returned.  With
+        ``resume_from`` the run continues from a checkpoint (the
+        checkpoint's sink wins over the constructor's ``sink``).
+        """
+        if pause_at is not None or resume_from is not None:
+            if self.core == "reference":
+                raise ConfigurationError(
+                    "checkpointing requires an event core "
+                    "('auto', 'incremental' or 'vectorized')"
+                )
+        if pause_at is not None and pause_at <= 0:
+            raise SimulationError(
+                f"pause_at must be positive, got {pause_at}"
+            )
+        if resume_from is not None:
+            if pause_at is not None and pause_at <= resume_from.time:
+                raise SimulationError(
+                    f"pause_at {pause_at} is not after the checkpoint "
+                    f"time {resume_from.time}"
+                )
         if self.core == "reference":
             return self._run_reference()
-        return self._run_incremental(adaptive=self.core == "auto")
+        return self._run_incremental(
+            adaptive=self.core == "auto",
+            pause_at=pause_at,
+            resume_from=resume_from,
+        )
 
     def _make_adapter(self):
+        # ``auto`` rides the vectorized kernel: per the committed bench
+        # trajectory it is at least as fast as the scalar solvers at
+        # every calibrated point (5.95x at sp-calibrated, fastest at
+        # inrp-overload), so adaptivity is only about full vs component
+        # refills, not about which kernel fills.
+        kernel = "vectorized" if self.core in ("auto", "vectorized") else "scalar"
         allocator = self.strategy.incremental_allocator(
-            verify=self.verify_allocator,
-            kernel="vectorized" if self.core == "vectorized" else "scalar",
+            verify=self.verify_allocator, kernel=kernel
         )
         if allocator is not None:
+            self.kernel_used = kernel
             return _IncrementalRecompute(allocator)
+        self.kernel_used = None
         return _FullRecompute(self.strategy)
 
-    def _run_incremental(self, adaptive: bool = False) -> SimulationResult:
+    def _spec_source(self, skip: int = 0) -> _SpecSource:
+        if self.specs is not None:
+            return _SpecSource(self.specs, skip=skip)
+        if (
+            self._paused_source is not None
+            and self._paused_source.consumed == skip
+        ):
+            source, self._paused_source = self._paused_source, None
+            return source
+        if self._stream_started:
+            raise SimulationError(
+                "streaming flow specs were already consumed; construct a "
+                "new simulator (or pass a materialized list) to rerun or "
+                "resume"
+            )
+        self._stream_started = True
+        return _SpecSource(self._spec_input, skip=skip)
+
+    def _run_incremental(
+        self,
+        adaptive: bool = False,
+        pause_at: Optional[float] = None,
+        resume_from: Optional[SimulatorCheckpoint] = None,
+    ) -> Union[SimulationResult, SimulatorCheckpoint]:
         active: Dict[int, ActiveFlow] = {}
         last_sync: Dict[int, float] = {}
         version: Dict[int, int] = {}
         heap: List[Tuple[float, int, int, int]] = []  # (time, seq, fid, version)
-        records: List[FlowRecord] = []
-        delivered_meter = TimeWeightedMean()
-        offered_meter = TimeWeightedMean()
-        pending = list(self.specs)
-        pending.reverse()  # pop() yields earliest arrival
+        now = 0.0
+        seq = 0
+        allocations = 0
+        total_switches = 0
+        restored_refills = 0
+        sum_rate = 0.0
+        sum_demand = 0.0
+        if resume_from is not None:
+            # Deep-copied so one checkpoint can seed several resumes
+            # (and outlive this run) without aliasing mutable state.
+            checkpoint = copy.deepcopy(resume_from)
+            now = checkpoint.time
+            sink = checkpoint.sink
+            delivered_meter = checkpoint.delivered_meter
+            offered_meter = checkpoint.offered_meter
+            allocations = checkpoint.allocations
+            total_switches = checkpoint.total_switches
+            restored_refills = checkpoint.full_refills
+            source = self._spec_source(skip=checkpoint.specs_consumed)
+        else:
+            checkpoint = None
+            sink = make_sink(self.sink)
+            delivered_meter = TimeWeightedMean()
+            offered_meter = TimeWeightedMean()
+            source = self._spec_source()
         adapter = self._make_adapter()
         policy = (
             _AdaptiveCorePolicy(
@@ -328,12 +533,27 @@ class FlowLevelSimulator:
             if adaptive and adapter.incremental
             else None
         )
-        now = 0.0
-        seq = 0
-        allocations = 0
-        total_switches = 0
-        sum_rate = 0.0
-        sum_demand = 0.0
+        if policy is not None:
+            policy.full_refills = restored_refills
+        if checkpoint is not None:
+            # Re-register the surviving flows in arrival order (INRP's
+            # fill visits flows in arrival order, so registration order
+            # is semantic).  Rates and splits are restored as
+            # checkpointed; the allocator starts all-dirty, so the
+            # first recompute re-derives the same fixed point and
+            # leaves matching rates untouched.
+            for flow in checkpoint.active_flows:
+                fid = flow.spec.flow_id
+                active[fid] = flow
+                version[fid] = 0
+                last_sync[fid] = now
+                sum_rate += flow.rate_bps
+                sum_demand += flow.spec.demand_bps
+                adapter.add(fid, flow.primary_path, flow.spec.demand_bps)
+                if flow.rate_bps > _EPS:
+                    departure = now + flow.remaining_bits / flow.rate_bps
+                    heapq.heappush(heap, (departure, seq, fid, 0))
+                    seq += 1
 
         def _peek_departure() -> float:
             while heap:
@@ -343,6 +563,19 @@ class FlowLevelSimulator:
                     continue
                 return time
             return math.inf
+
+        def _compact_heap() -> None:
+            # Lazy invalidation leaves tombstones buried in the heap
+            # until they surface; at most one entry per flow is live
+            # (its current version), so when tombstones dominate the
+            # heap is rebuilt from the live entries.  The trigger keeps
+            # the heap O(active), which is what bounds the memory of
+            # million-flow streaming runs; the rebuild is O(heap) but
+            # amortised by the growth needed to re-trigger it.
+            nonlocal heap
+            live = [entry for entry in heap if version.get(entry[2]) == entry[3]]
+            heapq.heapify(live)
+            heap = live
 
         def _sync(fid: int, flow: ActiveFlow) -> None:
             dt = now - last_sync[fid]
@@ -372,14 +605,48 @@ class FlowLevelSimulator:
             sum_rate -= flow.rate_bps
             sum_demand -= flow.spec.demand_bps
             adapter.remove(fid)
-            records.append(self._finalize(flow, completion_time=completion))
+            sink.consume(self._finalize(flow, completion_time=completion))
 
-        while pending or active:
-            next_arrival = pending[-1].arrival_time if pending else math.inf
+        def _pause() -> SimulatorCheckpoint:
+            nonlocal now
+            # Integrate the tail interval and sync every flow to the
+            # pause instant; events due exactly at ``pause_at`` stay
+            # queued for the resumed run, which re-arms departures from
+            # the restored rates.
+            if pause_at > now:
+                delivered_meter.observe(pause_at, sum_rate)
+                offered_meter.observe(pause_at, sum_demand)
+            now = pause_at
+            for fid, flow in active.items():
+                _sync(fid, flow)
+            ordered = sorted(
+                active.values(),
+                key=lambda flow: (flow.spec.arrival_time, flow.spec.flow_id),
+            )
+            if self.specs is None:
+                self._paused_source = source
+            return SimulatorCheckpoint(
+                time=now,
+                specs_consumed=source.consumed,
+                active_flows=ordered,
+                delivered_meter=delivered_meter,
+                offered_meter=offered_meter,
+                sink=sink,
+                allocations=allocations,
+                total_switches=total_switches,
+                full_refills=policy.full_refills if policy else restored_refills,
+                core=self.core,
+                strategy_name=getattr(self.strategy, "name", "unknown"),
+            )
+
+        while not source.exhausted or active:
+            next_arrival = source.next_arrival
             next_departure = _peek_departure()
             next_time = min(next_arrival, next_departure)
             if self.horizon is not None:
                 next_time = min(next_time, self.horizon)
+            if pause_at is not None and next_time >= pause_at:
+                return _pause()
             if math.isinf(next_time):
                 # Active flows exist but none can make progress and no
                 # arrivals remain: report them unfinished.
@@ -427,8 +694,8 @@ class FlowLevelSimulator:
                 break
 
             arrived = False
-            while pending and pending[-1].arrival_time <= now + _EPS:
-                spec = pending.pop()
+            while not source.exhausted and source.next_arrival <= now + _EPS:
+                spec = source.pop()
                 path = self.strategy.route(spec.flow_id, spec.source, spec.destination)
                 active[spec.flow_id] = ActiveFlow(
                     spec=spec, primary_path=path, remaining_bits=spec.size_bits
@@ -485,35 +752,35 @@ class FlowLevelSimulator:
                 sum_rate = 0.0  # exact reset: no accumulated float drift
                 sum_demand = 0.0
 
-        unfinished = len(active)
+            if len(heap) > 1024 and len(heap) > 8 * len(active):
+                _compact_heap()
+
         for fid, flow in active.items():
             _sync(fid, flow)
-            records.append(self._finalize(flow, completion_time=None))
-        records.sort(key=lambda record: record.flow_id)
         max_deviation = None
         if self.verify_allocator and adapter.incremental:
             max_deviation = getattr(
                 adapter._allocator, "max_verify_deviation", None
             )
-        return self._result(
-            records,
+        return self._finish_run(
+            sink,
+            active,
             delivered_meter,
             offered_meter,
             now,
             allocations,
-            unfinished,
             total_switches,
-            full_refills=policy.full_refills if policy else 0,
+            full_refills=policy.full_refills if policy else restored_refills,
             max_verify_deviation=max_deviation,
+            kernel=self.kernel_used,
         )
 
     def _run_reference(self) -> SimulationResult:
         active: Dict[int, ActiveFlow] = {}
-        records: List[FlowRecord] = []
+        sink = make_sink(self.sink)
         delivered_meter = TimeWeightedMean()
         offered_meter = TimeWeightedMean()
-        pending = list(self.specs)
-        pending.reverse()  # pop() yields earliest arrival
+        source = self._spec_source()
         now = 0.0
         allocations = 0
         total_switches = 0
@@ -535,8 +802,8 @@ class FlowLevelSimulator:
                     (path, rate) for path, rate in outcome.splits.get(fid, []) if rate > 0
                 ]
 
-        while pending or active:
-            next_arrival = pending[-1].arrival_time if pending else math.inf
+        while not source.exhausted or active:
+            next_arrival = source.next_arrival
             next_departure = math.inf
             for flow in active.values():
                 if flow.rate_bps > _EPS:
@@ -570,14 +837,14 @@ class FlowLevelSimulator:
             finished = [fid for fid, flow in active.items() if flow.done]
             for fid in finished:
                 flow = active.pop(fid)
-                records.append(self._finalize(flow, completion_time=now))
+                sink.consume(self._finalize(flow, completion_time=now))
 
             if self.horizon is not None and now >= self.horizon:
                 break
 
             arrived = False
-            while pending and pending[-1].arrival_time <= now + _EPS:
-                spec = pending.pop()
+            while not source.exhausted and source.next_arrival <= now + _EPS:
+                spec = source.pop()
                 path = self.strategy.route(spec.flow_id, spec.source, spec.destination)
                 active[spec.flow_id] = ActiveFlow(
                     spec=spec, primary_path=path, remaining_bits=spec.size_bits
@@ -587,47 +854,51 @@ class FlowLevelSimulator:
             if finished or arrived:
                 _recompute()
 
-        unfinished = len(active)
-        for flow in active.values():
-            records.append(self._finalize(flow, completion_time=None))
-        records.sort(key=lambda record: record.flow_id)
-        return self._result(
-            records,
+        return self._finish_run(
+            sink,
+            active,
             delivered_meter,
             offered_meter,
             now,
             allocations,
-            unfinished,
             total_switches,
         )
 
     @staticmethod
-    def _result(
-        records: List[FlowRecord],
+    def _finish_run(
+        sink: ResultSink,
+        active: Dict[int, ActiveFlow],
         delivered_meter: TimeWeightedMean,
         offered_meter: TimeWeightedMean,
         now: float,
         allocations: int,
-        unfinished: int,
         total_switches: int,
         full_refills: int = 0,
         max_verify_deviation: Optional[float] = None,
+        kernel: Optional[str] = None,
     ) -> SimulationResult:
+        """Shared tail of both run loops: flows still active are
+        reported unfinished (the caller has synced their deliveries),
+        then the sink assembles the result."""
+        for flow in active.values():
+            sink.consume(
+                FlowLevelSimulator._finalize(flow, completion_time=None)
+            )
         offered_mean = offered_meter.mean
         throughput = (
             delivered_meter.mean / offered_mean if offered_mean > 0 else 0.0
         )
-        return SimulationResult(
-            records=records,
+        return sink.build(
             network_throughput=throughput,
             mean_delivered_bps=delivered_meter.mean,
             mean_offered_bps=offered_mean,
             duration=now,
             allocations=allocations,
-            unfinished=unfinished,
+            unfinished=len(active),
             total_switches=total_switches,
             full_refills=full_refills,
             max_verify_deviation=max_verify_deviation,
+            kernel=kernel,
         )
 
     @staticmethod

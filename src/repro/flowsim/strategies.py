@@ -17,9 +17,11 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from array import array
+from collections import OrderedDict
 from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, NoPathError, RoutingError
 from repro.flowsim.allocation import (
     IncrementalInrp,
     IncrementalMaxMin,
@@ -29,7 +31,7 @@ from repro.flowsim.multipath import inrp_allocation
 from repro.routing.detour import DetourTable
 from repro.routing.ecmp import all_shortest_paths, ecmp_hash
 from repro.routing.paths import Path, cached_path_links
-from repro.routing.shortest import dijkstra, path_from_tree
+from repro.routing.shortest import dijkstra
 from repro.topology.graph import Node, Topology
 
 FlowId = Hashable
@@ -52,13 +54,47 @@ class RoutingStrategy(abc.ABC):
 
     name: str = "abstract"
 
+    #: Byte budget for cached Dijkstra trees, packed as one int32
+    #: predecessor-index array per source (~4 bytes/node instead of the
+    #: ~60 bytes/node of the raw ``(distances, predecessors)`` dict
+    #: pair).  Unbounded dict trees used to saturate at >100 MB on ISP
+    #: maps once a workload had sampled most sources; packed and under
+    #: this budget, every source of the shipped ISP maps fits in a few
+    #: MB, and on maps too large for that the LRU evicts — an eviction
+    #: only costs a recompute, never changes a path.
+    _TREE_CACHE_BUDGET_BYTES = 16 << 20
+    #: Per-pair caches (paths, ECMP path sets) are LRU-bounded too:
+    #: a uniform-pair million-flow stream touches ~every pair once, and
+    #: streaming runs must not grow resident state with the flow count.
+    _PATH_CACHE_SIZE = 65536
+
     def __init__(self, topology: Topology):
         self.topology = topology
         self.capacities = topology.link_capacities()
-        self._path_cache: Dict[Tuple[Node, Node], Path] = {}
-        self._sp_trees: Dict[
-            Node, Tuple[Dict[Node, float], Dict[Node, Node]]
-        ] = {}
+        self._nodes = topology.nodes()
+        self._node_index = {node: i for i, node in enumerate(self._nodes)}
+        self._path_cache: "OrderedDict[Tuple[Node, Node], Path]" = OrderedDict()
+        self._sp_trees: "OrderedDict[Node, array]" = OrderedDict()
+        self._tree_cache_size = max(
+            64, self._TREE_CACHE_BUDGET_BYTES // (4 * max(len(self._nodes), 1))
+        )
+
+    def _packed_tree(self, source: Node) -> array:
+        """Predecessor indices of the full Dijkstra tree from *source*
+        (-1 marks unreachable), cached per source."""
+        packed = self._sp_trees.get(source)
+        if packed is None:
+            _, predecessors = dijkstra(self.topology, source)
+            index = self._node_index
+            packed = array("i", [-1]) * len(self._nodes)
+            for node, pred in predecessors.items():
+                packed[index[node]] = index[pred]
+            self._sp_trees[source] = packed
+            if len(self._sp_trees) > self._tree_cache_size:
+                self._sp_trees.popitem(last=False)
+        else:
+            self._sp_trees.move_to_end(source)
+        return packed
 
     def route(self, flow_id: FlowId, source: Node, destination: Node) -> Path:
         """Primary path for a flow (deterministic, cached).
@@ -71,12 +107,25 @@ class RoutingStrategy(abc.ABC):
         key = (source, destination)
         path = self._path_cache.get(key)
         if path is None:
-            tree = self._sp_trees.get(source)
-            if tree is None:
-                tree = dijkstra(self.topology, source)
-                self._sp_trees[source] = tree
-            path = path_from_tree(self.topology, source, destination, tree)
+            if destination not in self._node_index:
+                raise RoutingError(f"unknown node: {destination!r}")
+            packed = self._packed_tree(source)
+            nodes = self._nodes
+            cursor = self._node_index[destination]
+            origin = self._node_index[source]
+            if cursor != origin and packed[cursor] < 0:
+                raise NoPathError(source, destination)
+            reverse = [destination]
+            while cursor != origin:
+                cursor = packed[cursor]
+                reverse.append(nodes[cursor])
+            reverse.reverse()
+            path = tuple(reverse)
             self._path_cache[key] = path
+            if len(self._path_cache) > self._PATH_CACHE_SIZE:
+                self._path_cache.popitem(last=False)
+        else:
+            self._path_cache.move_to_end(key)
         return path
 
     @abc.abstractmethod
@@ -136,15 +185,20 @@ class EcmpStrategy(ShortestPathStrategy):
 
     def __init__(self, topology: Topology):
         super().__init__(topology)
-        self._ecmp_cache: Dict[Tuple[Node, Node], List[Path]] = {}
+        self._ecmp_cache: "OrderedDict[Tuple[Node, Node], List[Path]]" = (
+            OrderedDict()
+        )
 
     def route(self, flow_id: FlowId, source: Node, destination: Node) -> Path:
         key = (source, destination)
-        if key not in self._ecmp_cache:
-            self._ecmp_cache[key] = all_shortest_paths(
-                self.topology, source, destination
-            )
-        paths = self._ecmp_cache[key]
+        paths = self._ecmp_cache.get(key)
+        if paths is None:
+            paths = all_shortest_paths(self.topology, source, destination)
+            self._ecmp_cache[key] = paths
+            if len(self._ecmp_cache) > self._PATH_CACHE_SIZE:
+                self._ecmp_cache.popitem(last=False)
+        else:
+            self._ecmp_cache.move_to_end(key)
         return paths[ecmp_hash(flow_id, len(paths))]
 
 

@@ -7,6 +7,7 @@ from repro.metrics.fairness import (
 )
 from repro.metrics.stats import (
     Cdf,
+    QuantileSketch,
     SummaryStats,
     summarize,
     weighted_cdf,
@@ -18,6 +19,7 @@ __all__ = [
     "max_min_violations",
     "bottleneck_fairness_certificate",
     "Cdf",
+    "QuantileSketch",
     "weighted_cdf",
     "SummaryStats",
     "summarize",

@@ -287,7 +287,9 @@ def run_flow_fidelity(
         result = FlowLevelSimulator(
             topo, strategy, specs, horizon=scenario.duration
         ).run()
-        for record in result.records:
+        # Per-flow FCTs are needed here, so the run must materialize
+        # (the default sink); require_records() makes that explicit.
+        for record in result.require_records():
             fct[record.flow_id] = record.fct
             completed[record.flow_id] = record.completed
 

@@ -1,14 +1,18 @@
 """Flow workloads: endpoint selection and full flow schedules.
 
 A :class:`FlowWorkload` combines an arrival process, a size
-distribution and an endpoint sampler into the concrete list of
-:class:`FlowSpec` records consumed by the flow-level simulator.
+distribution and an endpoint sampler into the schedule of
+:class:`FlowSpec` records consumed by the flow-level simulator —
+either lazily, one spec at a time in arrival order
+(:meth:`FlowWorkload.iter_specs`, the streaming contract that keeps
+million-flow runs out of memory), or materialised as a list
+(:meth:`FlowWorkload.generate`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.errors import WorkloadError
 from repro.rng import SeedLike, make_rng
@@ -158,25 +162,38 @@ class FlowWorkload:
         self._pairs = pair_sampler or uniform_pairs(topo, base)
         self.demand_bps = float(demand_bps)
 
+    def iter_specs(
+        self,
+        horizon: Optional[float] = None,
+        max_flows: Optional[int] = None,
+    ) -> Iterator[FlowSpec]:
+        """Yield the flow schedule lazily, in arrival order.
+
+        This is the streaming contract: one :class:`FlowSpec` exists
+        at a time, so the schedule's memory footprint is O(1) no
+        matter how many flows the horizon or *max_flows* admits.  The
+        sequence is fully determined by the workload's seed — two
+        iterators from identically-constructed workloads yield
+        identical specs, which is what lets simulator checkpoints
+        resume by fast-forwarding a fresh iterator.
+        """
+        for flow_id, arrival in enumerate(
+            self._arrivals.times(horizon=horizon, max_events=max_flows)
+        ):
+            source, destination = self._pairs()
+            yield FlowSpec(
+                flow_id=flow_id,
+                source=source,
+                destination=destination,
+                arrival_time=arrival,
+                size_bits=self._sizes.sample(),
+                demand_bps=self.demand_bps,
+            )
+
     def generate(
         self,
         horizon: Optional[float] = None,
         max_flows: Optional[int] = None,
     ) -> List[FlowSpec]:
         """Materialise the flow schedule (sorted by arrival time)."""
-        specs: List[FlowSpec] = []
-        for flow_id, arrival in enumerate(
-            self._arrivals.times(horizon=horizon, max_events=max_flows)
-        ):
-            source, destination = self._pairs()
-            specs.append(
-                FlowSpec(
-                    flow_id=flow_id,
-                    source=source,
-                    destination=destination,
-                    arrival_time=arrival,
-                    size_bits=self._sizes.sample(),
-                    demand_bps=self.demand_bps,
-                )
-            )
-        return specs
+        return list(self.iter_specs(horizon=horizon, max_flows=max_flows))

@@ -326,3 +326,35 @@ def test_inrp_incremental_verified_inside_simulator():
     ).run()
     assert result.max_verify_deviation is not None
     assert result.max_verify_deviation <= 1e-9
+
+
+def test_auto_core_selects_vectorized_kernel():
+    """core="auto" rides the vectorized CSR kernel — per the committed
+    bench trajectory it is at least as fast as the scalar solvers at
+    every calibrated point — while "incremental" stays scalar and the
+    reference core reports no kernel at all."""
+    topo = mesh_topology(14, extra_links=12, seed=2, capacity=mbps(10))
+    specs = _workload_specs(topo, seed=2, num_flows=40)
+    expected = {
+        "auto": "vectorized",
+        "vectorized": "vectorized",
+        "incremental": "scalar",
+        "reference": None,
+    }
+    for core, kernel in expected.items():
+        sim = FlowLevelSimulator(topo, make_strategy("sp", topo), specs, core=core)
+        result = sim.run()
+        assert sim.kernel_used == kernel, core
+        assert result.kernel == kernel, core
+
+
+def test_auto_core_still_adapts_with_vectorized_kernel():
+    """The vectorized kernel does not disable the adaptive fallback:
+    on a spanning component the auto core both runs vectorized and
+    switches to full refills."""
+    topo = line_topology(2)
+    specs = _spanning_component_specs(120)
+    sim = FlowLevelSimulator(topo, make_strategy("sp", topo), specs, core="auto")
+    result = sim.run()
+    assert sim.kernel_used == "vectorized"
+    assert result.full_refills > 0

@@ -145,3 +145,27 @@ def test_workload_demand_validation():
     topo = mesh_topology(5, extra_links=2, seed=0)
     with pytest.raises(WorkloadError):
         FlowWorkload(topo, 1.0, 1e6, demand_bps=0)
+
+
+def test_iter_specs_streams_lazily_and_matches_generate():
+    """iter_specs is the streaming contract: lazy (a generator, no
+    list behind it), in arrival order, and identical to generate()
+    from an identically-seeded workload — the determinism checkpoint
+    fast-forwarding relies on."""
+    topo = mesh_topology(6, extra_links=3, seed=1)
+
+    def make():
+        return FlowWorkload(topo, arrival_rate=50.0, mean_size_bits=1e6,
+                            demand_bps=1e6, seed=9)
+
+    iterator = make().iter_specs(max_flows=200)
+    assert iter(iterator) is iterator  # a true lazy generator
+    first = next(iterator)
+    assert first.flow_id == 0
+    streamed = [first] + list(iterator)
+    materialized = make().generate(max_flows=200)
+    assert streamed == materialized
+    assert all(
+        a.arrival_time <= b.arrival_time
+        for a, b in zip(streamed, streamed[1:])
+    )
