@@ -33,7 +33,7 @@ def _instance():
 
 def test_bench_max_min_allocation(benchmark):
     topo, flow_paths, demands = _instance()
-    capacities = topo.link_capacities()
+    capacities = topo.directed_capacities()
     flow_links = {fid: path_links(path) for fid, path in flow_paths.items()}
     rates = benchmark(max_min_allocation, capacities, flow_links, demands)
     assert all(rate >= 0 for rate in rates.values())
@@ -41,7 +41,7 @@ def test_bench_max_min_allocation(benchmark):
 
 def test_bench_inrp_allocation(benchmark):
     topo, flow_paths, demands = _instance()
-    capacities = topo.link_capacities()
+    capacities = topo.directed_capacities()
     table = DetourTable(topo, max_intermediate=2)
     result = benchmark(
         inrp_allocation, capacities, flow_paths, demands, table

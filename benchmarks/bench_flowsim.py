@@ -21,6 +21,12 @@ Points:
     pure dirty-component search loses to full refills — the regime the
     adaptive ``core="auto"`` exists for, so this point runs all three
     cores and reports auto against the better of the other two.
+``inrp-directed``
+    The directed-substrate point: sprint with every reverse direction
+    scaled to half capacity (``apply_capacity_asymmetry``) and
+    bidirectional uniform pairs, so traffic genuinely exercises
+    per-direction link state through the detour-closure allocator and
+    the CSR kernel.
 
 Unlike the pytest-benchmark drivers next door, this is a standalone
 script so CI can run it and diff-check the JSON record against the
@@ -48,6 +54,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import FlowLevelSimulator, FlowWorkload, build_isp_topology, make_strategy
+from repro.topology import apply_capacity_asymmetry
 from repro.units import mbps
 from repro.workloads import local_pairs, uniform_pairs
 
@@ -101,6 +108,21 @@ POINTS = {
         verify_flows=200,
         cores=("reference", "incremental", "vectorized", "auto"),
     ),
+    "inrp-directed": dict(
+        isp="sprint",
+        strategy="inrp",
+        arrival_rate=500.0,
+        mean_size_mbit=2.5,
+        demand_mbps=10.0,
+        pairs="local",
+        max_hops=3,
+        capacity_asymmetry=0.5,
+        seed=1,
+        flows_full=6_000,
+        flows_smoke=800,
+        verify_flows=400,
+        cores=("reference", "incremental", "vectorized"),
+    ),
 }
 
 
@@ -132,6 +154,8 @@ MEMORY_POINT = dict(
 
 def build_specs(point, num_flows):
     topo = build_isp_topology(point["isp"], seed=0)
+    if point.get("capacity_asymmetry"):
+        apply_capacity_asymmetry(topo, point["capacity_asymmetry"])
     seed = point["seed"]
     if point["pairs"] == "local":
         sampler = local_pairs(topo, seed=seed + 1, max_hops=point["max_hops"])
@@ -255,8 +279,10 @@ def run_point(name, point, num_flows, verify_flows, adaptive=None):
                 "demand_mbps",
                 "pairs",
                 "max_hops",
+                "capacity_asymmetry",
                 "seed",
             )
+            if key in point
         },
         "num_flows": num_flows,
         "seconds": {core: round(value, 4) for core, value in seconds.items()},

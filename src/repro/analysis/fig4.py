@@ -115,6 +115,7 @@ def run_snapshot_cell(
     flows_per_node: float = 1.0 / 12.0,
     max_hops: int = 5,
     detour_depth: int = 2,
+    pooling_fraction: float = 1.0,
 ) -> SnapshotResult:
     """One (topology, strategy) cell of the calibrated snapshot sweep.
 
@@ -122,11 +123,13 @@ def run_snapshot_cell(
     population floor, the detour-depth gating and the
     locality-weighted demand model — shared by :func:`run_fig4` and
     the ``snapshot-sweep`` campaign scenario so the two cannot drift
-    apart.
+    apart.  ``pooling_fraction`` (INRP/URP only) caps the share of
+    each link detour traffic may claim; 1.0 is the paper's full
+    pooling.
     """
     num_flows = max(10, int(topo.num_nodes * flows_per_node))
     kwargs = (
-        {"detour_depth": detour_depth}
+        {"detour_depth": detour_depth, "pooling_fraction": pooling_fraction}
         if strategy_name in ("inrp", "urp")
         else {}
     )

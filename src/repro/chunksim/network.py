@@ -130,14 +130,13 @@ class ChunkNetwork:
             self.config.aimd_buffer_bytes if self.mode == "aimd" else None
         )
         for u, v in self.topology.links():
-            capacity = self.topology.capacity(u, v)
             delay = self.topology.delay(u, v)
             for a, b in ((u, v), (v, u)):
                 link = SimLink(
                     self.sim,
                     a,
                     b,
-                    rate_bps=capacity,
+                    rate_bps=self.topology.capacity(a, b),
                     delay_s=delay,
                     buffer_bytes=buffer_bytes,
                     deliver=self.routers[b].receive,

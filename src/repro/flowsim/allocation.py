@@ -595,6 +595,7 @@ class IncrementalInrp:
         kernel: str = "scalar",
         compact_slack: float = 0.5,
         min_compact_nnz: int = 4096,
+        pooling_fraction: float = 1.0,
     ):
         self._capacities: Dict[LinkId, float] = {
             link: float(capacity) for link, capacity in capacities.items()
@@ -604,6 +605,15 @@ class IncrementalInrp:
         self._max_switches = max_switches_per_flow
         self._verify = verify
         self._verify_tol = verify_tol
+        if not 0.0 <= pooling_fraction <= 1.0:
+            raise SimulationError(
+                f"pooling_fraction must be in [0, 1], got {pooling_fraction}"
+            )
+        self._pooling_fraction = pooling_fraction
+        if pooling_fraction < 1.0 and kernel == "vectorized":
+            # The CSR kernel implements full pooling only; partial
+            # pooling falls back to the scalar component refill.
+            kernel = "scalar"
         self._kernel = _check_kernel(kernel)
         if self._kernel == "vectorized":
             self._space: Optional[_kernel.LinkSpace] = _kernel.LinkSpace(
@@ -851,6 +861,7 @@ class IncrementalInrp:
                 max_switches_per_flow=self._max_switches,
                 pinned_usage=pinned,
                 saturation_floors=self._floors,
+                pooling_fraction=self._pooling_fraction,
             )
             switches = result.switches
             for flow, splits in result.splits.items():
@@ -1006,6 +1017,7 @@ class IncrementalInrp:
             self._table,
             max_replacements=self._max_replacements,
             max_switches_per_flow=self._max_switches,
+            pooling_fraction=self._pooling_fraction,
         )
         worst = 0.0
         diverged: Optional[FlowId] = None

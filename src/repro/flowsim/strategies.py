@@ -70,7 +70,9 @@ class RoutingStrategy(abc.ABC):
 
     def __init__(self, topology: Topology):
         self.topology = topology
-        self.capacities = topology.link_capacities()
+        #: Directed (u, v) -> capacity map: forward and reverse traffic
+        #: over one physical link draw from separate budgets.
+        self.capacities = topology.directed_capacities()
         self._nodes = topology.nodes()
         self._node_index = {node: i for i, node in enumerate(self._nodes)}
         self._path_cache: "OrderedDict[Tuple[Node, Node], Path]" = OrderedDict()
@@ -216,6 +218,11 @@ class InrpStrategy(RoutingStrategy):
     max_replacements:
         How many links of a sub-path may independently be replaced by
         detours before the flow gives up (enters back-pressure).
+    pooling_fraction:
+        Fraction of a link's directional capacity that detour traffic
+        may borrow (partial resource pooling).  1.0 (default) is full
+        pooling — today's behaviour; lower values reserve
+        ``(1 - pooling_fraction) * capacity`` for primary-path traffic.
     """
 
     name = "INRP"
@@ -225,12 +232,18 @@ class InrpStrategy(RoutingStrategy):
         topology: Topology,
         detour_depth: int = 2,
         max_replacements: int = 2,
+        pooling_fraction: float = 1.0,
     ):
         super().__init__(topology)
         if detour_depth < 0:
             raise ConfigurationError(f"detour_depth must be >= 0, got {detour_depth}")
+        if not 0.0 <= pooling_fraction <= 1.0:
+            raise ConfigurationError(
+                f"pooling_fraction must be in [0, 1], got {pooling_fraction}"
+            )
         self.detour_depth = detour_depth
         self.max_replacements = max_replacements if detour_depth > 0 else 0
+        self.pooling_fraction = pooling_fraction
         # depth 0 still needs a table object; it simply never offers paths.
         self.detour_table = DetourTable(topology, max(detour_depth, 1))
 
@@ -245,6 +258,7 @@ class InrpStrategy(RoutingStrategy):
             demands,
             self.detour_table,
             max_replacements=self.max_replacements,
+            pooling_fraction=self.pooling_fraction,
         )
         backpressured = [
             fid
@@ -261,12 +275,17 @@ class InrpStrategy(RoutingStrategy):
     def incremental_allocator(
         self, verify: bool = False, kernel: str = "scalar"
     ) -> IncrementalInrp:
+        if self.pooling_fraction < 1.0 and kernel != "scalar":
+            # The CSR kernel implements full pooling only; partial
+            # pooling runs on the scalar recompute path.
+            kernel = "scalar"
         return IncrementalInrp(
             self.capacities,
             self.detour_table,
             max_replacements=self.max_replacements,
             verify=verify,
             kernel=kernel,
+            pooling_fraction=self.pooling_fraction,
         )
 
 

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import RoutingError, TopologyError
 from repro.routing.paths import Path
-from repro.topology.graph import Link, Node, Topology, link_key
+from repro.topology.graph import Link, Node, Topology
 
 
 class DetourClass(enum.Enum):
@@ -197,24 +197,25 @@ class DetourTable:
             )
         self.topology = topo
         self.max_intermediate = max_intermediate
+        # Options are stored per directed link: the reverse orientation
+        # holds the same detours walked backwards, so both directions
+        # enumerate candidates in the same deterministic order.
         self._options: Dict[Link, List[Path]] = {}
         for u, v in topo.links():
-            self._options[link_key(u, v)] = find_detour_paths(
-                topo, u, v, max_intermediate
-            )
+            forward = find_detour_paths(topo, u, v, max_intermediate)
+            self._options[(u, v)] = forward
+            self._options[(v, u)] = [tuple(reversed(path)) for path in forward]
 
     def options(self, u: Node, v: Node) -> List[Path]:
-        """Detour paths around link ``(u, v)``, oriented u -> v."""
-        key = link_key(u, v)
-        if key not in self._options:
+        """Detour paths around the directed link ``(u, v)``, oriented u -> v."""
+        stored = self._options.get((u, v))
+        if stored is None:
             raise TopologyError(f"unknown link: {u!r} -- {v!r}")
-        stored = self._options[key]
-        if key == (u, v):
-            return list(stored)
-        return [tuple(reversed(path)) for path in stored]
+        return list(stored)
 
     def has_detour(self, u: Node, v: Node) -> bool:
-        return bool(self._options.get(link_key(u, v)))
+        return bool(self._options.get((u, v)))
 
     def __len__(self) -> int:
-        return len(self._options)
+        """Number of physical links covered by the table."""
+        return len(self._options) // 2

@@ -11,7 +11,7 @@ from functools import lru_cache
 from typing import List, Sequence, Tuple
 
 from repro.errors import RoutingError
-from repro.topology.graph import Link, Node, Topology, link_key
+from repro.topology.graph import Link, Node, Topology
 
 Path = Tuple[Node, ...]
 
@@ -28,20 +28,24 @@ def path_hops(path: Sequence[Node]) -> int:
 
 
 def path_links(path: Sequence[Node]) -> List[Link]:
-    """Canonical links traversed by *path*, in order."""
-    return [link_key(u, v) for u, v in zip(path, path[1:])]
+    """Directed links traversed by *path*, in traversal order.
+
+    Each hop is the traversal-order tuple ``(u, v)`` — the canonical
+    directed link key consumed by the allocators, so forward and
+    reverse traffic over the same physical link never alias.
+    """
+    return list(zip(path, path[1:]))
 
 
 @lru_cache(maxsize=65536)
 def cached_path_links(path: Path) -> Tuple[Link, ...]:
-    """Canonical links of *path* as a cached tuple.
+    """Directed links of *path* as a cached tuple.
 
-    ``link_key`` is a pure function of the node pair, so the result
-    depends only on the path itself and may be shared across
-    topologies.  The allocators call this in their hot loops; caching
-    amortises link derivation to once per distinct path.
+    The result depends only on the path itself and may be shared
+    across topologies.  The allocators call this in their hot loops;
+    caching amortises link derivation to once per distinct path.
     """
-    return tuple(link_key(u, v) for u, v in zip(path, path[1:]))
+    return tuple(zip(path, path[1:]))
 
 
 def validate_path(topo: Topology, path: Sequence[Node]) -> Path:

@@ -3,8 +3,9 @@
 The paper's evaluation runs on nine Rocketfuel-derived ISP maps and one
 small worked-example topology (Fig. 3).  This package provides:
 
-- :class:`~repro.topology.graph.Topology` — an undirected capacitated
-  graph with per-link capacity/delay/weight attributes;
+- :class:`~repro.topology.graph.Topology` — a capacitated graph with
+  per-direction link capacities (symmetric links are the special case
+  built by a scalar capacity spec) plus delay/weight attributes;
 - :mod:`~repro.topology.blocks` — motif builders (triangle fans,
   square chains, long cycles, pendants) whose links have a known detour
   class *by construction*;
@@ -18,7 +19,7 @@ small worked-example topology (Fig. 3).  This package provides:
 - :mod:`~repro.topology.capacity` — capacity assignment models.
 """
 
-from repro.topology.graph import Topology, link_key
+from repro.topology.graph import CapacitySpec, Link, Topology, link_key, split_capacity_spec
 from repro.topology.builders import (
     dumbbell_topology,
     fig3_topology,
@@ -34,6 +35,7 @@ from repro.topology.isp import (
     solve_link_counts,
 )
 from repro.topology.capacity import (
+    apply_capacity_asymmetry,
     assign_core_edge_capacity,
     assign_degree_capacity,
     assign_uniform_capacity,
@@ -41,7 +43,10 @@ from repro.topology.capacity import (
 
 __all__ = [
     "Topology",
+    "Link",
+    "CapacitySpec",
     "link_key",
+    "split_capacity_spec",
     "fig3_topology",
     "dumbbell_topology",
     "line_topology",
@@ -57,4 +62,5 @@ __all__ = [
     "assign_uniform_capacity",
     "assign_degree_capacity",
     "assign_core_edge_capacity",
+    "apply_capacity_asymmetry",
 ]

@@ -1,9 +1,15 @@
-"""Hand-built topologies used by the paper's examples and our tests."""
+"""Hand-built topologies used by the paper's examples and our tests.
+
+Every ``capacity`` parameter is a
+:data:`~repro.topology.graph.CapacitySpec`: a bare number builds the
+symmetric (full-duplex) link, a ``(forward, reverse)`` pair builds an
+asymmetric one, oriented along the link's constructor argument order.
+"""
 
 from __future__ import annotations
 
 from repro.errors import ConfigurationError
-from repro.topology.graph import DEFAULT_DELAY_S, Topology
+from repro.topology.graph import DEFAULT_DELAY_S, CapacitySpec, Topology
 from repro.units import mbps
 
 
@@ -32,7 +38,7 @@ def fig3_topology(delay: float = DEFAULT_DELAY_S) -> Topology:
 
 
 def line_topology(
-    num_nodes: int, capacity: float = mbps(10), delay: float = DEFAULT_DELAY_S
+    num_nodes: int, capacity: CapacitySpec = mbps(10), delay: float = DEFAULT_DELAY_S
 ) -> Topology:
     """A chain ``0 -- 1 -- ... -- n-1`` (every link is a bridge)."""
     if num_nodes < 2:
@@ -44,7 +50,7 @@ def line_topology(
 
 
 def star_topology(
-    num_leaves: int, capacity: float = mbps(10), delay: float = DEFAULT_DELAY_S
+    num_leaves: int, capacity: CapacitySpec = mbps(10), delay: float = DEFAULT_DELAY_S
 ) -> Topology:
     """A hub (node 0) with *num_leaves* leaves (all links bridges)."""
     if num_leaves < 1:
@@ -57,8 +63,8 @@ def star_topology(
 
 def dumbbell_topology(
     pairs: int,
-    bottleneck_capacity: float = mbps(10),
-    access_capacity: float = mbps(100),
+    bottleneck_capacity: CapacitySpec = mbps(10),
+    access_capacity: CapacitySpec = mbps(100),
     delay: float = DEFAULT_DELAY_S,
 ) -> Topology:
     """Classic dumbbell: *pairs* senders and receivers share one link.

@@ -4,6 +4,12 @@ The paper's flow-level evaluation uses homogeneous core capacities
 ("we do not consider bottlenecks at the edges of the network"); the
 discussion in Section 2.2 also motivates core/edge splits.  These
 helpers mutate a topology in place and return it for chaining.
+
+Every assigner accepts a :data:`~repro.topology.graph.CapacitySpec` —
+a bare number (symmetric link) or a ``(forward, reverse)`` pair
+relative to the canonical link orientation;
+:func:`apply_capacity_asymmetry` turns a symmetric topology into an
+asymmetric one by scaling the reverse direction of every link.
 """
 
 from __future__ import annotations
@@ -11,13 +17,18 @@ from __future__ import annotations
 import math
 
 from repro.errors import ConfigurationError
-from repro.topology.graph import Topology
+from repro.topology.graph import CapacitySpec, Topology, split_capacity_spec
 
 
-def assign_uniform_capacity(topo: Topology, capacity: float) -> Topology:
-    """Set every link to *capacity* bits/s."""
-    if capacity <= 0:
+def _check_spec(capacity: CapacitySpec) -> None:
+    forward, reverse = split_capacity_spec(capacity)
+    if forward <= 0 or reverse <= 0:
         raise ConfigurationError(f"capacity must be positive, got {capacity!r}")
+
+
+def assign_uniform_capacity(topo: Topology, capacity: CapacitySpec) -> Topology:
+    """Set every link to *capacity* (bits/s, or a (fwd, rev) pair)."""
+    _check_spec(capacity)
     for u, v in topo.links():
         topo.set_capacity(u, v, capacity)
     return topo
@@ -55,4 +66,21 @@ def assign_core_edge_capacity(
             topo.set_capacity(u, v, edge_capacity)
         else:
             topo.set_capacity(u, v, core_capacity)
+    return topo
+
+
+def apply_capacity_asymmetry(topo: Topology, ratio: float) -> Topology:
+    """Scale the reverse direction of every link by *ratio*.
+
+    Starting from any (typically symmetric) topology, the canonical
+    ``u -> v`` direction keeps its capacity and the ``v -> u``
+    direction becomes ``ratio`` times the forward one — the simplest
+    model of asymmetric (e.g. wireless or provisioned-uplink) links.
+    ``ratio=1.0`` is a no-op.
+    """
+    if ratio <= 0 or not math.isfinite(ratio):
+        raise ConfigurationError(f"ratio must be positive and finite, got {ratio!r}")
+    for u, v in topo.links():
+        forward = topo.capacity(u, v)
+        topo.set_directed_capacity(v, u, forward * ratio)
     return topo

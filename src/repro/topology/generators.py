@@ -24,6 +24,7 @@ from repro.topology import blocks
 from repro.topology.graph import (
     DEFAULT_CAPACITY_BPS,
     DEFAULT_DELAY_S,
+    CapacitySpec,
     Link,
     Topology,
 )
@@ -59,7 +60,7 @@ def block_mix_topology(
     none: int,
     seed: SeedLike = 0,
     name: str = "block-mix",
-    capacity: float = DEFAULT_CAPACITY_BPS,
+    capacity: CapacitySpec = DEFAULT_CAPACITY_BPS,
     delay: float = DEFAULT_DELAY_S,
 ) -> Tuple[Topology, BlockMixReport]:
     """Build a topology with an exact per-link detour-class mix.
@@ -143,7 +144,7 @@ def mesh_topology(
     triangle_fraction: float = 0.3,
     seed: SeedLike = 0,
     name: str = "mesh",
-    capacity: float = DEFAULT_CAPACITY_BPS,
+    capacity: CapacitySpec = DEFAULT_CAPACITY_BPS,
     delay: float = DEFAULT_DELAY_S,
 ) -> Topology:
     """Build a random connected mesh.

@@ -1,21 +1,30 @@
-"""Capacitated undirected topology model.
+"""Capacitated topology model with per-direction link capacities.
 
 :class:`Topology` wraps a :class:`networkx.Graph` and enforces the
 library-wide conventions: capacities in bits/s, delays in seconds and a
 routing weight per link (1.0 by default, i.e. hop-count routing as in
 the paper's flow-level evaluation).
+
+The substrate is **directed**: every physical link carries one
+capacity per traversal direction, keyed by the traversal-order tuple
+``(u, v)``.  Undirected topologies are the symmetric special case —
+``add_link(u, v, capacity=c)`` installs ``c`` in both directions, and
+everything built that way reproduces the historical undirected
+results exactly.  :meth:`Topology.directed_capacities` is the map the
+allocators consume; :func:`Link.key` is the single canonical
+normalization used when a direction-less identifier is needed (detour
+classification, serialisation, reporting).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple, Union
 
 import networkx as nx
 
 from repro.errors import TopologyError
 
 Node = Hashable
-Link = Tuple[Node, Node]
 
 #: Default link capacity when none is given: 10 Mbps, the shared-link
 #: rate of the paper's Fig. 3 example.
@@ -24,22 +33,63 @@ DEFAULT_CAPACITY_BPS = 10e6
 #: Default one-way propagation delay (1 ms).
 DEFAULT_DELAY_S = 1e-3
 
+#: An asymmetric capacity spec: a single float (symmetric) or a
+#: ``(forward, reverse)`` pair relative to the ``(u, v)`` the spec is
+#: attached to.
+CapacitySpec = Union[float, Tuple[float, float]]
+
+
+class Link(tuple):
+    """A link identifier: a plain ``(u, v)`` node tuple.
+
+    Directed link state (capacities, allocator columns) is keyed by the
+    traversal-order tuple; :meth:`Link.key` is the one canonical
+    normalization collapsing both orientations onto the undirected
+    identity of the link.
+    """
+
+    __slots__ = ()
+
+    @staticmethod
+    def key(u: Node, v: Node) -> "Link":
+        """Return the canonical (order-independent) identifier of a link.
+
+        Nodes of mixed or unorderable types are ordered by their
+        ``repr``, which is stable within a process and good enough for
+        dictionary keys.
+        """
+        try:
+            return (u, v) if u <= v else (v, u)  # type: ignore[operator,return-value]
+        except TypeError:
+            return (u, v) if repr(u) <= repr(v) else (v, u)  # type: ignore[return-value]
+
 
 def link_key(u: Node, v: Node) -> Link:
-    """Return the canonical (order-independent) identifier of a link.
+    """Canonical undirected link identifier (alias of :meth:`Link.key`)."""
+    return Link.key(u, v)
 
-    Nodes of mixed or unorderable types are ordered by their ``repr``,
-    which is stable within a process and good enough for dictionary
-    keys.
+
+def split_capacity_spec(capacity: CapacitySpec) -> Tuple[float, float]:
+    """Normalise a capacity spec into a ``(forward, reverse)`` pair.
+
+    A bare number means symmetric; a 2-sequence is taken as
+    ``(forward, reverse)``.
     """
     try:
-        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
-    except TypeError:
-        return (u, v) if repr(u) <= repr(v) else (v, u)
+        if isinstance(capacity, (tuple, list)):
+            if len(capacity) != 2:
+                raise TypeError
+            return float(capacity[0]), float(capacity[1])
+        return float(capacity), float(capacity)
+    except (TypeError, ValueError):
+        raise TopologyError(
+            f"capacity spec must be a number or a (forward, reverse) pair, "
+            f"got {capacity!r}"
+        ) from None
 
 
 class Topology:
-    """An undirected capacitated network topology.
+    """A capacitated network topology with per-direction capacities.
 
     Parameters
     ----------
@@ -48,10 +98,12 @@ class Topology:
 
     Notes
     -----
-    Links are undirected but full-duplex: a link with capacity ``c``
-    offers ``c`` bits/s *in each direction* (the standard convention in
-    flow-level network simulation and what the paper's Fig. 3 arithmetic
-    assumes).
+    Physical links are bidirectional but each direction has its own
+    capacity.  ``add_link(u, v, capacity=c)`` is the symmetric
+    full-duplex case (``c`` bits/s in each direction — the standard
+    convention in flow-level network simulation and what the paper's
+    Fig. 3 arithmetic assumes); pass ``capacity_reverse`` (or a
+    ``(forward, reverse)`` capacity spec) for asymmetric links.
     """
 
     def __init__(self, name: str = "topology"):
@@ -70,28 +122,52 @@ class Topology:
         self,
         u: Node,
         v: Node,
-        capacity: float = DEFAULT_CAPACITY_BPS,
+        capacity: CapacitySpec = DEFAULT_CAPACITY_BPS,
         delay: float = DEFAULT_DELAY_S,
         weight: float = 1.0,
+        capacity_reverse: Optional[float] = None,
     ) -> Link:
-        """Add an undirected link between *u* and *v*.
+        """Add a link between *u* and *v*.
+
+        ``capacity`` applies to the ``u -> v`` direction; the
+        ``v -> u`` direction gets ``capacity_reverse`` when given,
+        otherwise the same value (symmetric link).  ``capacity`` may
+        also be a ``(forward, reverse)`` pair.
 
         Raises
         ------
         TopologyError
             If the link is a self-loop, a duplicate, or has a
-            non-positive capacity.
+            non-positive capacity in either direction.
         """
+        forward, reverse = split_capacity_spec(capacity)
+        if capacity_reverse is not None:
+            if isinstance(capacity, (tuple, list)):
+                raise TopologyError(
+                    "give either a (forward, reverse) capacity pair or "
+                    "capacity_reverse, not both"
+                )
+            reverse = float(capacity_reverse)
         if u == v:
             raise TopologyError(f"self-loop not allowed: {u!r}")
         if self._graph.has_edge(u, v):
             raise TopologyError(f"duplicate link: {u!r} -- {v!r}")
-        if capacity <= 0:
-            raise TopologyError(f"capacity must be positive, got {capacity!r}")
+        if forward <= 0 or reverse <= 0:
+            bad = forward if forward <= 0 else reverse
+            raise TopologyError(f"capacity must be positive, got {bad!r}")
         if delay < 0:
             raise TopologyError(f"delay must be non-negative, got {delay!r}")
-        self._graph.add_edge(u, v, capacity=float(capacity), delay=float(delay), weight=float(weight))
-        return link_key(u, v)
+        key = Link.key(u, v)
+        cap_fwd, cap_rev = (forward, reverse) if (u, v) == key else (reverse, forward)
+        self._graph.add_edge(
+            u,
+            v,
+            capacity=cap_fwd,
+            capacity_rev=cap_rev,
+            delay=float(delay),
+            weight=float(weight),
+        )
+        return key
 
     def remove_link(self, u: Node, v: Node) -> None:
         """Remove the link between *u* and *v*."""
@@ -115,7 +191,7 @@ class Topology:
 
     def links(self) -> List[Link]:
         """All links as canonical ``(u, v)`` tuples."""
-        return [link_key(u, v) for u, v in self._graph.edges()]
+        return [Link.key(u, v) for u, v in self._graph.edges()]
 
     def directed_links(self) -> Iterator[Link]:
         """Both orientations of every link (for per-direction state)."""
@@ -140,8 +216,12 @@ class Topology:
         return int(self._graph.degree(node))
 
     def capacity(self, u: Node, v: Node) -> float:
-        """Capacity of link ``(u, v)`` in bits/s."""
-        return float(self._link_attr(u, v, "capacity"))
+        """Capacity of the ``u -> v`` direction of the link, in bits/s."""
+        self._require_link(u, v)
+        data = self._graph.edges[u, v]
+        if (u, v) == Link.key(u, v):
+            return float(data["capacity"])
+        return float(data["capacity_rev"])
 
     def delay(self, u: Node, v: Node) -> float:
         """One-way propagation delay of link ``(u, v)`` in seconds."""
@@ -151,11 +231,24 @@ class Topology:
         """Routing weight of link ``(u, v)``."""
         return float(self._link_attr(u, v, "weight"))
 
-    def set_capacity(self, u: Node, v: Node, capacity: float) -> None:
+    def set_capacity(self, u: Node, v: Node, capacity: CapacitySpec) -> None:
+        """Set the link capacity.
+
+        A bare number sets **both** directions (the historical
+        symmetric behaviour); a ``(forward, reverse)`` pair sets the
+        ``u -> v`` and ``v -> u`` directions respectively.
+        """
+        forward, reverse = split_capacity_spec(capacity)
+        self.set_directed_capacity(u, v, forward)
+        self.set_directed_capacity(v, u, reverse)
+
+    def set_directed_capacity(self, u: Node, v: Node, capacity: float) -> None:
+        """Set the capacity of the ``u -> v`` direction only."""
         if capacity <= 0:
             raise TopologyError(f"capacity must be positive, got {capacity!r}")
         self._require_link(u, v)
-        self._graph.edges[u, v]["capacity"] = float(capacity)
+        attr = "capacity" if (u, v) == Link.key(u, v) else "capacity_rev"
+        self._graph.edges[u, v][attr] = float(capacity)
 
     def set_delay(self, u: Node, v: Node, delay: float) -> None:
         if delay < 0:
@@ -163,8 +256,15 @@ class Topology:
         self._require_link(u, v)
         self._graph.edges[u, v]["delay"] = float(delay)
 
+    def is_symmetric(self) -> bool:
+        """True when every link has equal capacity in both directions."""
+        return all(
+            data["capacity"] == data["capacity_rev"]
+            for _, _, data in self._graph.edges(data=True)
+        )
+
     def total_capacity(self) -> float:
-        """Sum of all link capacities (one direction), bits/s."""
+        """Sum of canonical-direction link capacities, bits/s."""
         return sum(data["capacity"] for _, _, data in self._graph.edges(data=True))
 
     def is_connected(self) -> bool:
@@ -175,11 +275,12 @@ class Topology:
     def is_bridge(self, u: Node, v: Node) -> bool:
         """True if removing link ``(u, v)`` disconnects *u* from *v*."""
         self._require_link(u, v)
+        data = dict(self._graph.edges[u, v])
         self._graph.remove_edge(u, v)
         try:
             return not nx.has_path(self._graph, u, v)
         finally:
-            self._graph.add_edge(u, v)
+            self._graph.add_edge(u, v, **data)
 
     # ------------------------------------------------------------------
     # Derivation
@@ -209,7 +310,7 @@ class Topology:
         cls,
         links: Iterable[Tuple[Node, Node]],
         name: str = "topology",
-        capacity: float = DEFAULT_CAPACITY_BPS,
+        capacity: CapacitySpec = DEFAULT_CAPACITY_BPS,
         delay: float = DEFAULT_DELAY_S,
     ) -> "Topology":
         """Build a topology from an iterable of ``(u, v)`` pairs."""
@@ -236,8 +337,30 @@ class Topology:
         return f"Topology({self.name!r}, nodes={self.num_nodes}, links={self.num_links})"
 
     def link_capacities(self) -> Dict[Link, float]:
-        """Mapping of canonical link -> capacity (bits/s)."""
+        """Mapping of canonical link -> canonical-direction capacity.
+
+        Only meaningful on symmetric topologies (one scalar per link);
+        allocators index per direction via :meth:`directed_capacities`.
+        """
         return {
-            link_key(u, v): float(data["capacity"])
+            Link.key(u, v): float(data["capacity"])
             for u, v, data in self._graph.edges(data=True)
         }
+
+    def directed_capacities(self) -> Dict[Link, float]:
+        """Mapping of directed ``(u, v)`` link -> capacity (bits/s).
+
+        Contains both orientations of every link; this is the map the
+        flow-level allocators consume.
+        """
+        capacities: Dict[Link, float] = {}
+        for u, v, data in self._graph.edges(data=True):
+            key = Link.key(u, v)
+            fwd, rev = float(data["capacity"]), float(data["capacity_rev"])
+            if (u, v) == key:
+                capacities[(u, v)] = fwd
+                capacities[(v, u)] = rev
+            else:
+                capacities[(u, v)] = rev
+                capacities[(v, u)] = fwd
+        return capacities

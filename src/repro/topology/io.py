@@ -8,15 +8,22 @@ JSON schema::
     {"name": "...",
      "nodes": [...],
      "links": [{"u": ..., "v": ..., "capacity": bps,
-                "delay": s, "weight": w}, ...]}
+                "capacity_reverse": bps, "delay": s, "weight": w}, ...]}
 
-The edge-list format is one ``u v capacity_bps delay_s`` per line with
-``#`` comments, a superset of the common research-dataset layout.
+``capacity`` is the ``u -> v`` direction and ``capacity_reverse`` the
+``v -> u`` direction.  Legacy documents without ``capacity_reverse``
+load as symmetric links (a one-time warning notes the assumption).
+
+The edge-list format is one ``u v capacity_bps delay_s
+[capacity_reverse_bps]`` per line with ``#`` comments, a superset of
+the common research-dataset layout; the optional fifth field carries
+the reverse-direction capacity of asymmetric links.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Union
 
@@ -24,6 +31,23 @@ from repro.errors import TopologyError
 from repro.topology.graph import DEFAULT_CAPACITY_BPS, DEFAULT_DELAY_S, Topology
 
 PathLike = Union[str, Path]
+
+#: One-time flag: legacy (direction-less) documents warn only once per
+#: process, not once per link or per file.
+_warned_legacy_symmetric = False
+
+
+def _warn_legacy_symmetric(source: str) -> None:
+    global _warned_legacy_symmetric
+    if _warned_legacy_symmetric:
+        return
+    _warned_legacy_symmetric = True
+    warnings.warn(
+        f"{source} has no per-direction capacities ('capacity_reverse'); "
+        "loading links as symmetric (same capacity in both directions)",
+        UserWarning,
+        stacklevel=3,
+    )
 
 
 def topology_to_dict(topo: Topology) -> dict:
@@ -36,6 +60,7 @@ def topology_to_dict(topo: Topology) -> dict:
                 "u": u,
                 "v": v,
                 "capacity": topo.capacity(u, v),
+                "capacity_reverse": topo.capacity(v, u),
                 "delay": topo.delay(u, v),
                 "weight": topo.weight(u, v),
             }
@@ -51,17 +76,27 @@ def topology_from_dict(document: dict) -> Topology:
     topo = Topology(document.get("name", "topology"))
     for node in document.get("nodes", []):
         topo.add_node(_freeze(node))
+    legacy = False
     for link in document["links"]:
         try:
+            capacity = float(link.get("capacity", DEFAULT_CAPACITY_BPS))
+            if "capacity_reverse" in link:
+                reverse = float(link["capacity_reverse"])
+            else:
+                legacy = True
+                reverse = capacity
             topo.add_link(
                 _freeze(link["u"]),
                 _freeze(link["v"]),
-                capacity=float(link.get("capacity", DEFAULT_CAPACITY_BPS)),
+                capacity=capacity,
+                capacity_reverse=reverse,
                 delay=float(link.get("delay", DEFAULT_DELAY_S)),
                 weight=float(link.get("weight", 1.0)),
             )
         except KeyError as missing:
             raise TopologyError(f"link record missing field {missing}") from None
+    if legacy:
+        _warn_legacy_symmetric(f"topology document {topo.name!r}")
     return topo
 
 
@@ -87,10 +122,19 @@ def load_topology(path: PathLike) -> Topology:
 
 
 def topology_to_edge_list(topo: Topology) -> str:
-    """Render *topo* as ``u v capacity delay`` lines."""
-    lines = [f"# topology: {topo.name}", "# u v capacity_bps delay_s"]
+    """Render *topo* as ``u v capacity delay [capacity_reverse]`` lines.
+
+    The fifth column is only written for asymmetric links, keeping
+    symmetric exports in the common four-column layout.
+    """
+    lines = [f"# topology: {topo.name}", "# u v capacity_bps delay_s [capacity_reverse_bps]"]
     for u, v in topo.links():
-        lines.append(f"{u} {v} {topo.capacity(u, v):.6g} {topo.delay(u, v):.6g}")
+        forward = topo.capacity(u, v)
+        reverse = topo.capacity(v, u)
+        line = f"{u} {v} {forward:.6g} {topo.delay(u, v):.6g}"
+        if reverse != forward:
+            line += f" {reverse:.6g}"
+        lines.append(line)
     return "\n".join(lines) + "\n"
 
 
@@ -98,7 +142,8 @@ def topology_from_edge_list(text: str, name: str = "edge-list") -> Topology:
     """Parse an edge-list document (see module docstring).
 
     Node tokens that look like integers become ints; everything else
-    stays a string.
+    stays a string.  A fifth field, when present, is the reverse
+    (``v -> u``) capacity of an asymmetric link.
     """
     topo = Topology(name)
     for line_number, raw in enumerate(text.splitlines(), start=1):
@@ -111,8 +156,11 @@ def topology_from_edge_list(text: str, name: str = "edge-list") -> Topology:
         u, v = (_node_token(tok) for tok in fields[:2])
         capacity = float(fields[2]) if len(fields) > 2 else DEFAULT_CAPACITY_BPS
         delay = float(fields[3]) if len(fields) > 3 else DEFAULT_DELAY_S
+        reverse = float(fields[4]) if len(fields) > 4 else None
         try:
-            topo.add_link(u, v, capacity=capacity, delay=delay)
+            topo.add_link(
+                u, v, capacity=capacity, delay=delay, capacity_reverse=reverse
+            )
         except TopologyError as error:
             raise TopologyError(f"line {line_number}: {error}") from None
     return topo

@@ -26,7 +26,12 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import ConfigurationError
 from repro.rng import SeedLike
 from repro.topology.generators import BlockMixReport, block_mix_topology
-from repro.topology.graph import DEFAULT_CAPACITY_BPS, DEFAULT_DELAY_S, Topology
+from repro.topology.graph import (
+    DEFAULT_CAPACITY_BPS,
+    DEFAULT_DELAY_S,
+    CapacitySpec,
+    Topology,
+)
 
 #: Per-class link counts a block mix cannot realise (see blocks.py).
 _UNBUILDABLE = {
@@ -167,7 +172,7 @@ def solve_link_counts(
 def build_isp_topology(
     name: str,
     seed: SeedLike = 0,
-    capacity: float = DEFAULT_CAPACITY_BPS,
+    capacity: CapacitySpec = DEFAULT_CAPACITY_BPS,
     delay: float = DEFAULT_DELAY_S,
     max_links: int = 4000,
 ) -> Topology:
@@ -185,7 +190,7 @@ def build_isp_topology(
 def build_isp_topology_with_report(
     name: str,
     seed: SeedLike = 0,
-    capacity: float = DEFAULT_CAPACITY_BPS,
+    capacity: CapacitySpec = DEFAULT_CAPACITY_BPS,
     delay: float = DEFAULT_DELAY_S,
     max_links: int = 4000,
 ) -> Tuple[Topology, BlockMixReport]:

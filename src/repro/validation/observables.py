@@ -42,7 +42,7 @@ for that control window plus each flow's anticipation allowance
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.chunksim import ChunkNetwork, ChunkSimConfig
@@ -183,6 +183,8 @@ def run_chunk_fidelity(
 ) -> ChunkObservables:
     """Run *scenario* through the chunk-level protocol simulator."""
     topo = scenario.topology()
+    if scenario.detour_depth is not None:
+        config = replace(config or ChunkSimConfig(), detour_depth=scenario.detour_depth)
     network = ChunkNetwork(
         topo, mode=scenario.chunk_mode, config=config, engine=engine
     )
@@ -237,7 +239,10 @@ def run_flow_fidelity(
     """
     config = config or ChunkSimConfig()
     topo = scenario.topology()
-    strategy = make_strategy(scenario.mode, topo)
+    strategy_kwargs = {}
+    if scenario.mode == "inrp" and scenario.detour_depth is not None:
+        strategy_kwargs["detour_depth"] = scenario.detour_depth
+    strategy = make_strategy(scenario.mode, topo, **strategy_kwargs)
     flow_ids = list(range(len(scenario.flows)))
     primaries: Dict[int, Path] = {}
     demands: Dict[int, float] = {}

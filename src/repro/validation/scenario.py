@@ -25,9 +25,22 @@ numbers, which pins *both* fidelities to an external reference:
 - ``fig3-completion-inrp`` / ``fig3-completion-sp`` — finite
   100-chunk transfers with staggered starts, checking per-flow
   completion time against the fluid progressive-filling simulator.
+- ``fig3-bidir-inrp`` / ``fig3-bidir-sp`` — the worked example with a
+  reverse-direction flow (4->1) added.  On the directed-capacity
+  substrate the reverse flow rides the opposite direction of the same
+  links without stealing forward capacity, so its presence must not
+  perturb the paper's forward rates.
+- ``isp-bidir-inrp`` — the vsnl ISP map with the 1->4 direction
+  bottlenecked to half capacity (the reverse 4->1 direction keeps the
+  full 10 Mbps — an asymmetry only the directed substrate can
+  express).  The forward flow 6->4 must pool a two-intermediate-node
+  detour through the 1-2-3-4 square (``detour_depth=3``, deeper than
+  the default) to reach its demand while the reverse flow 4->6 runs
+  untouched at full rate.
 
 All scenarios are deterministic (no seed axis): the Fig. 3 topology
-has no random component in either simulator.
+has no random component in either simulator and the ISP map is built
+from a fixed seed.
 """
 
 from __future__ import annotations
@@ -38,6 +51,7 @@ from typing import Callable, Mapping, Optional, Tuple
 from repro.errors import ConfigurationError
 from repro.topology.builders import fig3_topology
 from repro.topology.graph import Node, Topology
+from repro.topology.isp import build_isp_topology
 
 #: Chunk count used for "steady state" flows: large enough that no
 #: flow completes within any calibrated duration.
@@ -65,6 +79,9 @@ class ValidationScenario:
     scenario (flows finish and are compared on completion time).
     ``tolerances`` overrides entries of
     :data:`repro.validation.harness.DEFAULT_TOLERANCES` per scenario.
+    ``detour_depth=None`` keeps each fidelity's default depth (2);
+    an integer pins both the fluid strategy's and the chunk router's
+    detour tables to that depth.
     """
 
     name: str
@@ -76,6 +93,7 @@ class ValidationScenario:
     summary: str = ""
     topology_factory: Callable[[], Topology] = fig3_topology
     tolerances: Mapping[str, float] = field(default_factory=dict)
+    detour_depth: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODE_MAP:
@@ -85,6 +103,10 @@ class ValidationScenario:
             )
         if not self.flows:
             raise ConfigurationError(f"scenario {self.name!r} has no flows")
+        if self.detour_depth is not None and self.detour_depth < 1:
+            raise ConfigurationError(
+                f"detour_depth must be >= 1, got {self.detour_depth}"
+            )
 
     @property
     def chunk_mode(self) -> str:
@@ -113,9 +135,30 @@ class ValidationScenario:
         return self.topology_factory()
 
 
+def _vsnl_directed_topology() -> Topology:
+    """The vsnl ISP map with a *directed* bottleneck on 1 -> 4.
+
+    Only the forward direction is halved; 4 -> 1 keeps the full
+    10 Mbps.  Pre-refactor (undirected capacities) this topology was
+    inexpressible: halving (1, 4) would have halved both directions.
+    """
+    topo = build_isp_topology("vsnl", seed=0)
+    topo.set_directed_capacity(1, 4, 5_000_000.0)
+    return topo
+
+
 _PAPER_FLOWS = (
     ValidationFlow(source=1, destination=4),
     ValidationFlow(source=1, destination=5),
+)
+
+#: The paper's two forward flows plus a reverse-direction flow 4->1.
+#: Directed capacities make the reverse flow free: it must not change
+#: the forward fixed point.
+_BIDIR_FLOWS = (
+    ValidationFlow(source=1, destination=4, start_time=0.0),
+    ValidationFlow(source=4, destination=1, start_time=0.01),
+    ValidationFlow(source=1, destination=5, start_time=0.02),
 )
 
 #: Three flows from node 1: 1->4 (detours via 3), 1->5 (clear) and
@@ -175,6 +218,35 @@ CALIBRATED_SCENARIOS: Tuple[ValidationScenario, ...] = (
         warmup=0.0,
         num_chunks=100,
         summary="Finite 100-chunk transfers: completion time, AIMD",
+    ),
+    ValidationScenario(
+        name="fig3-bidir-inrp",
+        mode="inrp",
+        flows=_BIDIR_FLOWS,
+        duration=20.0,
+        warmup=5.0,
+        summary="Fig. 3 with a reverse flow: directions share no capacity",
+    ),
+    ValidationScenario(
+        name="fig3-bidir-sp",
+        mode="sp",
+        flows=_BIDIR_FLOWS,
+        duration=20.0,
+        warmup=5.0,
+        summary="Fig. 3 with a reverse flow, AIMD vs fluid max-min",
+    ),
+    ValidationScenario(
+        name="isp-bidir-inrp",
+        mode="inrp",
+        flows=(
+            ValidationFlow(source=6, destination=4, start_time=0.0),
+            ValidationFlow(source=4, destination=6, start_time=0.01),
+        ),
+        duration=20.0,
+        warmup=5.0,
+        summary="vsnl with a directed bottleneck: deep detour forward, clear reverse",
+        topology_factory=_vsnl_directed_topology,
+        detour_depth=3,
     ),
 )
 

@@ -35,7 +35,7 @@ def test_demand_caps_release_capacity():
 def test_fig3_e2e_arithmetic():
     # The paper's Fig. 3 left: (2, 8) on the shared 10 Mbps link.
     topo = fig3_topology()
-    capacities = topo.link_capacities()
+    capacities = topo.directed_capacities()
     flow_links = {
         1: path_links(shortest_path(topo, 1, 4)),
         2: path_links(shortest_path(topo, 1, 5)),
@@ -83,7 +83,7 @@ def test_max_min_certificate_on_random_instances(seed, num_flows, demand):
         src, dst = sampler()
         flow_links[flow_id] = path_links(shortest_path(topo, src, dst))
         demands[flow_id] = demand
-    capacities = topo.link_capacities()
+    capacities = topo.directed_capacities()
     rates = max_min_allocation(capacities, flow_links, demands)
     assert bottleneck_fairness_certificate(
         rates, demands, flow_links, capacities, tolerance=1e-5

@@ -91,7 +91,7 @@ def test_incremental_matches_scratch_under_churn(seed, churn, demand):
     """Property: after any add/remove sequence, the incremental rates
     equal from-scratch progressive filling on the surviving flows."""
     topo = mesh_topology(15, extra_links=12, seed=seed, capacity=10.0)
-    capacities = topo.link_capacities()
+    capacities = topo.directed_capacities()
     sampler = uniform_pairs(topo, seed=seed + 1)
     allocator = IncrementalMaxMin(capacities)
     flow_links = {}
@@ -117,7 +117,7 @@ def test_incremental_matches_scratch_under_churn(seed, churn, demand):
 
 def test_verify_mode_accepts_correct_state():
     topo = mesh_topology(10, extra_links=8, seed=3, capacity=mbps(10))
-    capacities = topo.link_capacities()
+    capacities = topo.directed_capacities()
     sampler = uniform_pairs(topo, seed=4)
     allocator = IncrementalMaxMin(capacities, verify=True)
     for flow_id in range(12):

@@ -23,7 +23,7 @@ def _assert_matches_scratch(allocator, capacities, table, paths, demands):
 def test_fig3_rates_and_splits_match_scratch():
     topo = fig3_topology()
     table = DetourTable(topo, max_intermediate=1)
-    allocator = IncrementalInrp(topo.link_capacities(), table)
+    allocator = IncrementalInrp(topo.directed_capacities(), table)
     allocator.add_flow(1, shortest_path(topo, 1, 4), mbps(10))
     allocator.add_flow(2, shortest_path(topo, 1, 5), mbps(10))
     rates, splits, switches = allocator.recompute()
@@ -48,7 +48,7 @@ def _two_island_topology():
 def test_untouched_closure_component_not_recomputed():
     topo = _two_island_topology()
     table = DetourTable(topo, max_intermediate=1)
-    allocator = IncrementalInrp(topo.link_capacities(), table)
+    allocator = IncrementalInrp(topo.directed_capacities(), table)
     allocator.add_flow("left", ("a1", "a2"), mbps(10))
     allocator.add_flow("right", ("b1", "b2"), mbps(10))
     allocator.recompute()
@@ -63,7 +63,7 @@ def test_untouched_closure_component_not_recomputed():
 def test_full_refill_returns_whole_population():
     topo = _two_island_topology()
     table = DetourTable(topo, max_intermediate=1)
-    allocator = IncrementalInrp(topo.link_capacities(), table)
+    allocator = IncrementalInrp(topo.directed_capacities(), table)
     allocator.add_flow("left", ("a1", "a2"), mbps(10))
     allocator.add_flow("right", ("b1", "b2"), mbps(10))
     allocator.recompute()
@@ -77,7 +77,7 @@ def test_full_refill_returns_whole_population():
 def test_recompute_without_churn_is_empty():
     topo = fig3_topology()
     table = DetourTable(topo, max_intermediate=1)
-    allocator = IncrementalInrp(topo.link_capacities(), table)
+    allocator = IncrementalInrp(topo.directed_capacities(), table)
     allocator.add_flow(1, shortest_path(topo, 1, 4), mbps(10))
     allocator.recompute()
     assert allocator.recompute() == ({}, {}, 0)
@@ -86,7 +86,7 @@ def test_recompute_without_churn_is_empty():
 def test_linkless_flow_gets_full_demand():
     topo = fig3_topology()
     table = DetourTable(topo, max_intermediate=1)
-    allocator = IncrementalInrp(topo.link_capacities(), table)
+    allocator = IncrementalInrp(topo.directed_capacities(), table)
     allocator.add_flow(1, (2,), mbps(7))
     rates, splits, switches = allocator.recompute()
     assert rates[1] == mbps(7)
@@ -96,7 +96,7 @@ def test_linkless_flow_gets_full_demand():
 def test_validation_errors():
     topo = fig3_topology()
     table = DetourTable(topo, max_intermediate=1)
-    allocator = IncrementalInrp(topo.link_capacities(), table)
+    allocator = IncrementalInrp(topo.directed_capacities(), table)
     with pytest.raises(SimulationError):
         allocator.add_flow(1, (1, 99), 1.0)
     with pytest.raises(SimulationError):
@@ -136,7 +136,7 @@ def test_incremental_inrp_matches_scratch_under_churn(seed, churn, demand):
     rates equal from-scratch ``inrp_allocation`` on the survivors.
     ``verify=True`` additionally cross-checks inside every recompute."""
     topo = mesh_topology(12, extra_links=10, seed=seed, capacity=10.0)
-    capacities = topo.link_capacities()
+    capacities = topo.directed_capacities()
     table = DetourTable(topo, max_intermediate=1)
     sampler = uniform_pairs(topo, seed=seed + 1)
     allocator = IncrementalInrp(capacities, table, verify=True)

@@ -57,7 +57,7 @@ def test_maxmin_kernel_matches_scratch_under_churn(seed):
     topo = mesh_topology(24, extra_links=24, seed=seed, capacity=mbps(10))
     strategy = make_strategy("sp", topo)
     alloc = IncrementalMaxMin(
-        topo.link_capacities(),
+        topo.directed_capacities(),
         kernel="vectorized",
         min_compact_nnz=8,
         compact_slack=0.2,
@@ -78,7 +78,7 @@ def test_maxmin_kernel_matches_scratch_under_churn(seed):
             live.add(flow)
             next_id += 1
         alloc.recompute()
-        scratch = max_min_allocation(topo.link_capacities(), flow_links, demands)
+        scratch = max_min_allocation(topo.directed_capacities(), flow_links, demands)
         assert _relative_deviation(alloc.rates, scratch) <= TOL
     alloc._store.check_consistency()
     assert alloc._store.compactions > 0, "churn never crossed a compaction"
@@ -93,7 +93,7 @@ def test_inrp_kernel_matches_scratch_under_churn(seed):
     table = DetourTable(topo)
     strategy = make_strategy("inrp", topo)
     alloc = IncrementalInrp(
-        topo.link_capacities(),
+        topo.directed_capacities(),
         table,
         kernel="vectorized",
         min_compact_nnz=8,
@@ -116,7 +116,7 @@ def test_inrp_kernel_matches_scratch_under_churn(seed):
             next_id += 1
         alloc.recompute()
         scratch = inrp_allocation(
-            topo.link_capacities(), flow_paths, demands, table
+            topo.directed_capacities(), flow_paths, demands, table
         )
         assert _relative_deviation(alloc.rates, scratch.rates) <= TOL
     alloc._primary_store.check_consistency()
@@ -130,10 +130,10 @@ def test_empty_and_single_flow_components(kernel_cls):
     flow, and removal back down to empty."""
     topo = mesh_topology(8, extra_links=4, seed=0, capacity=mbps(10))
     if kernel_cls == "sp":
-        alloc = IncrementalMaxMin(topo.link_capacities(), kernel="vectorized")
+        alloc = IncrementalMaxMin(topo.directed_capacities(), kernel="vectorized")
     else:
         alloc = IncrementalInrp(
-            topo.link_capacities(), DetourTable(topo), kernel="vectorized"
+            topo.directed_capacities(), DetourTable(topo), kernel="vectorized"
         )
     alloc.recompute()
     assert alloc.rates == {}
@@ -144,14 +144,14 @@ def test_empty_and_single_flow_components(kernel_cls):
     if kernel_cls == "sp":
         alloc.add_flow(0, cached_path_links(path), math.inf)
         expected = max_min_allocation(
-            topo.link_capacities(), {0: cached_path_links(path)}, {0: math.inf}
+            topo.directed_capacities(), {0: cached_path_links(path)}, {0: math.inf}
         )[0]
     else:
         alloc.add_flow(0, path, math.inf)
         # A lone INRP flow detours past its saturated primary path and
         # pools extra capacity, so compare against the scratch solver.
         expected = inrp_allocation(
-            topo.link_capacities(), {0: path}, {0: math.inf}, DetourTable(topo)
+            topo.directed_capacities(), {0: path}, {0: math.inf}, DetourTable(topo)
         ).rates[0]
     alloc.recompute()
     assert alloc.rates[0] == pytest.approx(expected, rel=1e-9)

@@ -3,6 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.errors import SimulationError
 from repro.flowsim import inrp_allocation
 from repro.routing import DetourTable, shortest_path
 from repro.routing.paths import path_links
@@ -26,7 +27,7 @@ def test_fig3_global_fairness():
     # flow carries 2 direct + 3 via the node-3 detour.
     topo, flow_paths, demands = _fig3_instance()
     table = DetourTable(topo, max_intermediate=1)
-    result = inrp_allocation(topo.link_capacities(), flow_paths, demands, table)
+    result = inrp_allocation(topo.directed_capacities(), flow_paths, demands, table)
     assert result.rates[1] == pytest.approx(mbps(5))
     assert result.rates[2] == pytest.approx(mbps(5))
     split = dict((tuple(path), rate) for path, rate in result.splits[1])
@@ -39,7 +40,7 @@ def test_zero_replacements_degenerates_to_e2e():
     topo, flow_paths, demands = _fig3_instance()
     table = DetourTable(topo, max_intermediate=1)
     result = inrp_allocation(
-        topo.link_capacities(), flow_paths, demands, table, max_replacements=0
+        topo.directed_capacities(), flow_paths, demands, table, max_replacements=0
     )
     assert result.rates[1] == pytest.approx(mbps(2))
     assert result.rates[2] == pytest.approx(mbps(8))
@@ -49,7 +50,7 @@ def test_zero_replacements_degenerates_to_e2e():
 def test_stretch_metric():
     topo, flow_paths, demands = _fig3_instance()
     table = DetourTable(topo, max_intermediate=1)
-    result = inrp_allocation(topo.link_capacities(), flow_paths, demands, table)
+    result = inrp_allocation(topo.directed_capacities(), flow_paths, demands, table)
     # Flow 1: 2 Mbps over 2 hops + 3 Mbps over 3 hops vs primary 2 hops.
     expected = (2 * 2 + 3 * 3) / (5 * 2)
     assert result.stretch(1) == pytest.approx(expected)
@@ -60,7 +61,7 @@ def test_satisfied_flows_report_demand_reason():
     topo = fig3_topology()
     table = DetourTable(topo, max_intermediate=1)
     result = inrp_allocation(
-        topo.link_capacities(),
+        topo.directed_capacities(),
         {1: shortest_path(topo, 1, 5)},
         {1: mbps(4)},
         table,
@@ -73,7 +74,7 @@ def test_trivial_flow_source_equals_destination():
     topo = fig3_topology()
     table = DetourTable(topo, max_intermediate=1)
     result = inrp_allocation(
-        topo.link_capacities(), {1: (1,)}, {1: mbps(3)}, table
+        topo.directed_capacities(), {1: (1,)}, {1: mbps(3)}, table
     )
     assert result.rates[1] == pytest.approx(mbps(3))
 
@@ -98,7 +99,7 @@ def test_no_link_overloaded_and_splits_consistent(seed, num_flows):
         src, dst = sampler()
         flow_paths[flow_id] = shortest_path(topo, src, dst)
     demands = {flow_id: 8.0 for flow_id in flow_paths}
-    capacities = topo.link_capacities()
+    capacities = topo.directed_capacities()
     table = DetourTable(topo, max_intermediate=2)
     result = inrp_allocation(capacities, flow_paths, demands, table)
 
@@ -137,7 +138,7 @@ def _saturating_instance(flow_ids):
     table = DetourTable(topo, max_intermediate=1)
     flow_paths = {fid: ("s", "m", "d") for fid in flow_ids}
     demands = {fid: mbps(10) for fid in flow_ids}
-    return inrp_allocation(topo.link_capacities(), flow_paths, demands, table)
+    return inrp_allocation(topo.directed_capacities(), flow_paths, demands, table)
 
 
 def test_saturation_visits_flows_in_arrival_order_not_id_order():
@@ -172,3 +173,72 @@ def test_saturation_order_follows_insertion_not_numeric_value():
     backward = _saturating_instance([10, 2])
     assert forward.rates[2] == pytest.approx(backward.rates[10], abs=1e-12)
     assert forward.rates[10] == pytest.approx(backward.rates[2], abs=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Partial pooling (pooling_fraction)
+# ----------------------------------------------------------------------
+def _single_detouring_flow(fraction):
+    topo = fig3_topology()
+    table = DetourTable(topo, max_intermediate=1)
+    return inrp_allocation(
+        topo.directed_capacities(),
+        {0: (1, 2, 4)},
+        {0: mbps(10)},
+        table,
+        pooling_fraction=fraction,
+    )
+
+
+@pytest.mark.parametrize("fraction", [0.0, 0.25, 0.5, 1.0])
+def test_pooling_fraction_caps_detour_share(fraction):
+    """Fig. 3, one flow: the 2 Mbps primary is always granted, and the
+    3 Mbps node-3 detour contributes exactly its pooled share."""
+    result = _single_detouring_flow(fraction)
+    assert result.rates[0] == pytest.approx(mbps(2 + 3 * fraction))
+    detour_rate = sum(
+        rate for path, rate in result.splits[0] if len(path) > 3
+    )
+    assert detour_rate == pytest.approx(mbps(3 * fraction))
+
+
+def test_pooling_fraction_default_is_full_pooling():
+    full = _single_detouring_flow(1.0)
+    topo = fig3_topology()
+    table = DetourTable(topo, max_intermediate=1)
+    default = inrp_allocation(
+        topo.directed_capacities(), {0: (1, 2, 4)}, {0: mbps(10)}, table
+    )
+    assert default.rates == full.rates
+    assert default.splits == full.splits
+
+
+def test_pooling_fraction_reserve_protects_primary_traffic():
+    """A primary flow on a link keeps the reserved share even when a
+    detouring flow got there first."""
+    topo = fig3_topology()
+    table = DetourTable(topo, max_intermediate=1)
+    caps = topo.directed_capacities()
+    # Flow 0 detours over (2,3),(3,4); flow 1 arrives later with (2,3)
+    # as primary.  With half pooling, flow 1 is guaranteed at least the
+    # reserved half of the 3 Mbps link.
+    result = inrp_allocation(
+        caps,
+        {0: (1, 2, 4), 1: (2, 3)},
+        {0: mbps(10), 1: mbps(10)},
+        table,
+        pooling_fraction=0.5,
+    )
+    assert result.rates[1] >= mbps(1.5) - 1e-9
+
+
+def test_pooling_fraction_validation():
+    topo = fig3_topology()
+    table = DetourTable(topo, max_intermediate=1)
+    caps = topo.directed_capacities()
+    for bad in (-0.1, 1.5):
+        with pytest.raises(SimulationError):
+            inrp_allocation(
+                caps, {0: (1, 2, 4)}, {0: mbps(10)}, table,
+                pooling_fraction=bad,
+            )

@@ -175,7 +175,16 @@ def _assert_equivalent(ref, inc):
         ref.network_throughput, rel=1e-6
     )
     assert inc.duration == pytest.approx(ref.duration, rel=1e-6)
-    assert inc.total_switches == ref.total_switches
+    # Switch counts are a per-recompute diagnostic, not a flow metric:
+    # the reference core re-performs every component's switches at each
+    # full fill, while the incremental core only counts the dirty
+    # component's.  With directed links the closure decomposition is
+    # finer than the reference full fill, so the totals may differ even
+    # though records, rates and aggregates agree exactly.
+    if ref.total_switches == 0:
+        assert inc.total_switches == 0
+    else:
+        assert inc.total_switches > 0
 
 
 @pytest.mark.parametrize("strategy_name", ["sp", "ecmp", "inrp"])

@@ -10,7 +10,8 @@ from repro.topology import Topology
 def test_path_hops_and_links():
     assert path_hops((1, 2, 4)) == 2
     assert path_links((1, 2, 4)) == [(1, 2), (2, 4)]
-    assert path_links((4, 2, 1)) == [(2, 4), (1, 2)]  # canonical keys
+    # Keys are directed: the reverse walk uses the reverse-direction links.
+    assert path_links((4, 2, 1)) == [(4, 2), (2, 1)]
 
 
 def test_empty_path_rejected():

@@ -1,0 +1,160 @@
+"""Directed-substrate equivalence suite.
+
+The directed-capacity refactor must be invisible on symmetric
+topologies: every flow-level core and both chunk-level engines have to
+reproduce the pre-refactor (undirected-substrate) results exactly.
+The goldens below were captured on the commit *before* the refactor
+with the exact workloads in this file; the assertions hold them to
+1e-12.
+
+The asymmetric half of the suite exercises what the old substrate
+could not express at all: per-direction capacities under randomized
+churn, cross-checked against from-scratch recomputation with the
+allocator's own ``verify=True`` guard.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chunksim.config import ChunkSimConfig
+from repro.chunksim.network import ChunkNetwork
+from repro.flowsim.allocation import IncrementalInrp
+from repro.flowsim.simulator import FlowLevelSimulator
+from repro.flowsim.strategies import make_strategy
+from repro.routing.detour import DetourTable
+from repro.routing.shortest import shortest_path
+from repro.topology import apply_capacity_asymmetry
+from repro.topology.builders import fig3_topology
+from repro.topology.generators import mesh_topology
+from repro.units import mbps
+from repro.workloads import uniform_pairs
+from repro.workloads.traffic import FlowSpec
+
+TOL = 1e-12
+
+#: Pre-refactor flow-level results on Fig. 3 (see the module
+#: docstring).  Keyed by strategy; identical across all three cores up
+#: to float association order (covered by the 1e-12 tolerance).
+FLOW_GOLDENS = {
+    "sp": {
+        "throughput": 0.0675303197353914,
+        "mean_fct": 4.319047619047619,
+        "completions": [8.5, 2.2, 7.4, 6.6, 2.2142857142857144, 2.0],
+    },
+    "inrp": {
+        "throughput": 0.09020618556701031,
+        "mean_fct": 3.233333333333333,
+        "completions": [4.6000000000000005, 4.4, 4.2, 3.8, 2.0, 3.4],
+    },
+}
+
+#: Pre-refactor chunk-level results on Fig. 3, identical across the
+#: modern and reference engines.
+CHUNK_GOLDENS = {
+    "aimd": {
+        "goodputs": [933333.3333333334, 960000.0, 2995555.5555555555],
+        "jain": 0.7400177114982852,
+    },
+    "inrpp": {
+        "goodputs": [915555.5555555555, 1084444.4444444445, 2995555.5555555555],
+        "jain": 0.757081973028817,
+    },
+}
+
+
+def _flow_specs():
+    return [
+        FlowSpec(0, 1, 4, 0.0, 8e6, mbps(20)),
+        FlowSpec(1, 1, 3, 0.2, 6e6, mbps(20)),
+        FlowSpec(2, 5, 4, 0.4, 5e6, mbps(20)),
+        FlowSpec(3, 2, 4, 0.6, 4e6, mbps(20)),
+        FlowSpec(4, 1, 5, 0.8, 9e6, mbps(20)),
+        FlowSpec(5, 3, 4, 1.0, 3e6, mbps(20)),
+    ]
+
+
+@pytest.mark.parametrize("core", ["reference", "incremental", "vectorized"])
+@pytest.mark.parametrize("mode", ["sp", "inrp"])
+def test_flow_cores_reproduce_pre_refactor_goldens(mode, core):
+    topo = fig3_topology()
+    assert topo.is_symmetric()
+    result = FlowLevelSimulator(
+        topo, make_strategy(mode, topo), _flow_specs(), core=core
+    ).run()
+    golden = FLOW_GOLDENS[mode]
+    assert result.network_throughput == pytest.approx(
+        golden["throughput"], abs=TOL
+    )
+    assert result.mean_fct() == pytest.approx(golden["mean_fct"], abs=TOL)
+    records = sorted(result.require_records(), key=lambda r: r.flow_id)
+    assert [r.completion_time for r in records] == pytest.approx(
+        golden["completions"], abs=TOL
+    )
+
+
+@pytest.mark.parametrize("engine", ["modern", "reference"])
+@pytest.mark.parametrize("mode", ["aimd", "inrpp"])
+def test_chunk_engines_reproduce_pre_refactor_goldens(mode, engine):
+    net = ChunkNetwork(
+        fig3_topology(), mode=mode, config=ChunkSimConfig(), engine=engine
+    )
+    net.add_flow(1, 4, 400, start_time=0.0)
+    net.add_flow(5, 4, 400, start_time=0.0)
+    net.add_flow(1, 3, 400, start_time=0.0)
+    report = net.run(duration=10.0, warmup=1.0)
+    golden = CHUNK_GOLDENS[mode]
+    assert [f.goodput_bps for f in report.flows] == pytest.approx(
+        golden["goodputs"], abs=TOL
+    )
+    assert report.jain() == pytest.approx(golden["jain"], abs=TOL)
+
+
+def test_asymmetric_directions_allocate_independently():
+    """Same path forward and back: each direction gets its own pipe."""
+    topo = fig3_topology()
+    topo.set_directed_capacity(2, 4, mbps(1))  # squeeze 2 -> 4 only
+    strategy = make_strategy("sp", topo)
+    outcome = strategy.allocate(
+        {
+            0: (tuple(shortest_path(topo, 1, 4)), mbps(10)),
+            1: (tuple(shortest_path(topo, 4, 1)), mbps(10)),
+        }
+    )
+    assert outcome.rates[0] == pytest.approx(mbps(1))
+    assert outcome.rates[1] == pytest.approx(mbps(2))  # reverse untouched
+
+
+@settings(deadline=None, max_examples=10)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    churn=st.lists(
+        st.integers(min_value=0, max_value=4), min_size=4, max_size=25
+    ),
+    ratio=st.floats(min_value=0.1, max_value=0.9),
+)
+def test_asymmetric_churn_verified_against_scratch(seed, churn, ratio):
+    """Property: on an asymmetric topology, incremental INRP agrees
+    with from-scratch recomputation under arbitrary arrival/departure
+    churn (``verify=True`` cross-checks inside every recompute)."""
+    topo = mesh_topology(12, extra_links=10, seed=seed, capacity=10.0)
+    apply_capacity_asymmetry(topo, ratio)
+    capacities = topo.directed_capacities()
+    table = DetourTable(topo, max_intermediate=1)
+    sampler = uniform_pairs(topo, seed=seed + 1)
+    allocator = IncrementalInrp(capacities, table, verify=True)
+    active = set()
+    next_id = 0
+    for action in churn:
+        if action == 0 and active:
+            victim = min(active)
+            allocator.remove_flow(victim)
+            active.discard(victim)
+        else:
+            src, dst = sampler()
+            path = tuple(shortest_path(topo, src, dst))
+            allocator.add_flow(next_id, path, 4.0)
+            active.add(next_id)
+            next_id += 1
+        allocator.recompute()  # raises SimulationError on divergence
+    assert allocator.max_verify_deviation <= 1e-9

@@ -5,6 +5,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.topology import (
     Topology,
+    apply_capacity_asymmetry,
     assign_core_edge_capacity,
     assign_degree_capacity,
     assign_uniform_capacity,
@@ -41,3 +42,27 @@ def test_core_edge_split():
     assert topo.capacity(0, 1) == mbps(10)
     with pytest.raises(ConfigurationError):
         assign_core_edge_capacity(topo, -1, 1)
+
+
+def test_uniform_pair_spec():
+    topo = star_topology(3)
+    assign_uniform_capacity(topo, (mbps(8), mbps(2)))
+    for u, v in topo.links():
+        assert topo.capacity(u, v) == mbps(8)
+        assert topo.capacity(v, u) == mbps(2)
+    with pytest.raises(ConfigurationError):
+        assign_uniform_capacity(topo, (mbps(8), 0))
+
+
+def test_apply_capacity_asymmetry():
+    topo = star_topology(4)
+    assign_uniform_capacity(topo, mbps(10))
+    apply_capacity_asymmetry(topo, 0.25)
+    assert not topo.is_symmetric()
+    for u, v in topo.links():
+        assert topo.capacity(u, v) == mbps(10)
+        assert topo.capacity(v, u) == pytest.approx(mbps(2.5))
+    with pytest.raises(ConfigurationError):
+        apply_capacity_asymmetry(topo, 0.0)
+    with pytest.raises(ConfigurationError):
+        apply_capacity_asymmetry(topo, float("inf"))

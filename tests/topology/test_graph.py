@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import TopologyError
-from repro.topology import Topology, link_key
+from repro.topology import Link, Topology, link_key, split_capacity_spec
 from repro.units import mbps
 
 
@@ -112,3 +112,72 @@ def test_copy_independent(triangle):
     clone.remove_link("a", "b")
     assert triangle.has_link("a", "b")
     assert not clone.has_link("a", "b")
+
+
+# ----------------------------------------------------------------------
+# Directed-capacity substrate
+# ----------------------------------------------------------------------
+def test_link_key_matches_legacy_helper():
+    assert Link.key(2, 1) == link_key(1, 2) == (1, 2)
+
+
+def test_split_capacity_spec():
+    assert split_capacity_spec(5.0) == (5.0, 5.0)
+    assert split_capacity_spec((3.0, 7.0)) == (3.0, 7.0)
+    with pytest.raises(TopologyError):
+        split_capacity_spec((1.0, 2.0, 3.0))
+    with pytest.raises(TopologyError):
+        split_capacity_spec("fast")
+
+
+def test_pair_spec_sets_per_direction_capacity():
+    topo = Topology()
+    # The spec's forward direction is the traversal order given to
+    # add_link, regardless of canonical orientation.
+    topo.add_link("b", "a", capacity=(mbps(8), mbps(2)))
+    assert topo.capacity("b", "a") == mbps(8)
+    assert topo.capacity("a", "b") == mbps(2)
+
+
+def test_set_directed_capacity_leaves_reverse_alone(triangle):
+    triangle.set_directed_capacity("b", "a", mbps(1))
+    assert triangle.capacity("b", "a") == mbps(1)
+    assert triangle.capacity("a", "b") == mbps(10)
+    with pytest.raises(TopologyError):
+        triangle.set_directed_capacity("a", "b", 0)
+
+
+def test_set_capacity_pair_spec(triangle):
+    triangle.set_capacity("a", "b", (mbps(4), mbps(6)))
+    assert triangle.capacity("a", "b") == mbps(4)
+    assert triangle.capacity("b", "a") == mbps(6)
+
+
+def test_is_symmetric(triangle):
+    assert triangle.is_symmetric()
+    triangle.set_directed_capacity("b", "a", mbps(1))
+    assert not triangle.is_symmetric()
+
+
+def test_directed_capacities_both_orientations(triangle):
+    triangle.set_directed_capacity("b", "a", mbps(1))
+    caps = triangle.directed_capacities()
+    assert len(caps) == 2 * triangle.num_links
+    assert caps[("a", "b")] == mbps(10)
+    assert caps[("b", "a")] == mbps(1)
+
+
+def test_asymmetry_survives_copy_and_without_link(triangle):
+    triangle.set_directed_capacity("b", "a", mbps(1))
+    clone = triangle.copy()
+    assert clone.capacity("b", "a") == mbps(1)
+    assert clone.capacity("a", "b") == mbps(10)
+    reduced = triangle.without_link("b", "c")
+    assert reduced.capacity("b", "a") == mbps(1)
+
+
+def test_is_bridge_preserves_directed_capacities(triangle):
+    triangle.set_directed_capacity("b", "a", mbps(1))
+    triangle.is_bridge("a", "b")
+    assert triangle.capacity("b", "a") == mbps(1)
+    assert triangle.capacity("a", "b") == mbps(10)

@@ -1,9 +1,12 @@
 """Topology serialisation round-trips."""
 
+import warnings
+
 import pytest
 
 from repro.errors import TopologyError
 from repro.topology import Topology, build_isp_topology, fig3_topology
+from repro.topology import io as topo_io
 from repro.topology.io import (
     load_topology,
     save_topology,
@@ -18,8 +21,18 @@ def _assert_same(a: Topology, b: Topology) -> None:
     assert sorted(map(repr, a.nodes())) == sorted(map(repr, b.nodes()))
     assert sorted(map(repr, a.links())) == sorted(map(repr, b.links()))
     for u, v in a.links():
+        # Both directions must survive the round trip.
         assert a.capacity(u, v) == pytest.approx(b.capacity(u, v))
+        assert a.capacity(v, u) == pytest.approx(b.capacity(v, u))
         assert a.delay(u, v) == pytest.approx(b.delay(u, v))
+
+
+def _asymmetric_topology() -> Topology:
+    topo = Topology("asym")
+    topo.add_link("a", "b", capacity=(8e6, 2e6))
+    topo.add_link("b", "c", capacity=5e6)
+    topo.set_directed_capacity("c", "b", 1e6)
+    return topo
 
 
 def test_dict_round_trip_fig3():
@@ -80,3 +93,55 @@ def test_edge_list_errors_carry_line_numbers():
         topology_from_edge_list("a b\nonlyone\n")
     with pytest.raises(TopologyError, match="line 2"):
         topology_from_edge_list("a b\na b\n")  # duplicate link
+
+
+def test_dict_round_trip_asymmetric():
+    topo = _asymmetric_topology()
+    clone = topology_from_dict(topology_to_dict(topo))
+    _assert_same(topo, clone)
+    assert clone.capacity("a", "b") == 8e6
+    assert clone.capacity("b", "a") == 2e6
+    assert clone.capacity("c", "b") == 1e6
+
+
+def test_json_file_round_trip_asymmetric(tmp_path):
+    topo = _asymmetric_topology()
+    path = tmp_path / "asym.json"
+    save_topology(topo, path)
+    _assert_same(topo, load_topology(path))
+
+
+def test_edge_list_round_trip_asymmetric():
+    topo = _asymmetric_topology()
+    text = topology_to_edge_list(topo)
+    # Asymmetric links carry the fifth column; symmetric ones do not.
+    data_lines = [l for l in text.splitlines() if not l.startswith("#")]
+    assert any(len(line.split()) == 5 for line in data_lines)
+    _assert_same(topo, topology_from_edge_list(text))
+
+
+def test_edge_list_fifth_column_is_reverse_capacity():
+    topo = topology_from_edge_list("a b 8e6 0.001 2e6\n")
+    assert topo.capacity("a", "b") == 8e6
+    assert topo.capacity("b", "a") == 2e6
+
+
+def test_legacy_document_warns_once_and_loads_symmetric(monkeypatch):
+    monkeypatch.setattr(topo_io, "_warned_legacy_symmetric", False)
+    legacy = {"name": "old", "links": [{"u": 1, "v": 2, "capacity": 4e6}]}
+    with pytest.warns(UserWarning, match="symmetric"):
+        topo = topology_from_dict(legacy)
+    assert topo.capacity(1, 2) == 4e6
+    assert topo.capacity(2, 1) == 4e6
+    # The warning is one-time per process, not per document.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        topology_from_dict(legacy)
+
+
+def test_directed_document_does_not_warn(monkeypatch):
+    monkeypatch.setattr(topo_io, "_warned_legacy_symmetric", False)
+    document = topology_to_dict(_asymmetric_topology())
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        topology_from_dict(document)
